@@ -1,0 +1,423 @@
+// Package nntstream's root benchmark suite regenerates the cost side of
+// every figure in the paper's evaluation as testing.B benchmarks — one
+// bench (or sub-bench group) per table/figure — over small fixed-seed
+// workloads. cmd/experiments produces the corresponding effectiveness
+// tables; EXPERIMENTS.md pairs the two.
+//
+// Stream benches replay a recorded stream; when b.N exceeds the recording,
+// the cursor wraps around. All change operations are idempotent against an
+// already-final state (re-inserts and deletes of absent edges are no-ops),
+// so wrapped replay keeps filters consistent while measuring steady-state
+// per-timestamp cost.
+package nntstream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/datagen"
+	"nntstream/internal/gindex"
+	"nntstream/internal/graph"
+	"nntstream/internal/graphgrep"
+	"nntstream/internal/iso"
+	"nntstream/internal/join"
+	"nntstream/internal/nnt"
+	"nntstream/internal/npv"
+	"nntstream/internal/skyline"
+)
+
+// --- shared workloads, generated once ---
+
+type streamBenchWorkload struct {
+	queries []*graph.Graph
+	streams []*graph.Stream
+}
+
+var (
+	onceWorkloads sync.Once
+	wSparse       streamBenchWorkload
+	wDense        streamBenchWorkload
+	wReal         streamBenchWorkload
+	chemDB        []*graph.Graph
+	synDB         []*graph.Graph
+)
+
+func workloads() {
+	onceWorkloads.Do(func() {
+		const pairs, ts = 8, 120
+		mk := func(flip datagen.FlipConfig, seed int64) streamBenchWorkload {
+			flip.Timestamps = ts
+			cfg := datagen.DefaultStreamWorkload(flip)
+			cfg.Gen.NumGraphs = pairs
+			w := datagen.SyntheticStreams(cfg, rand.New(rand.NewSource(seed)))
+			return streamBenchWorkload{queries: w.Queries, streams: w.Streams}
+		}
+		wSparse = mk(datagen.SparseFlipDefaults(), 101)
+		wDense = mk(datagen.DenseFlipDefaults(), 102)
+
+		pcfg := datagen.ProximityDefaults()
+		pcfg.Timestamps = ts
+		r := rand.New(rand.NewSource(103))
+		series := datagen.Proximity(pcfg, rand.New(rand.NewSource(103)))
+		wReal = streamBenchWorkload{
+			queries: datagen.ProximityQueries(series, 6, 2, 6, r),
+			streams: datagen.ProximityStreams(pcfg, 6, r),
+		}
+
+		ccfg := datagen.ChemicalDefaults()
+		ccfg.NumGraphs = 200
+		chemDB = datagen.Chemical(ccfg, rand.New(rand.NewSource(104)))
+
+		scfg := datagen.StaticSyntheticDefaults()
+		scfg.NumGraphs = 200
+		scfg.NumSeeds = 8
+		synDB = datagen.Synthetic(scfg, rand.New(rand.NewSource(105)))
+	})
+}
+
+// stepper wires a filter to a workload and yields one StepAll per call.
+type stepper struct {
+	mon     *core.Monitor
+	cursors []*graph.Cursor
+	ids     []core.StreamID
+	streams []*graph.Stream
+}
+
+func newStepper(b *testing.B, f core.Filter, w streamBenchWorkload) *stepper {
+	b.Helper()
+	s := &stepper{mon: core.NewMonitor(f), streams: w.streams}
+	for _, q := range w.queries {
+		if _, err := s.mon.AddQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, st := range w.streams {
+		id, err := s.mon.AddStream(st.Start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.ids = append(s.ids, id)
+		s.cursors = append(s.cursors, graph.NewCursor(st))
+	}
+	return s
+}
+
+func (s *stepper) step(b *testing.B) {
+	b.Helper()
+	changes := make(map[core.StreamID]graph.ChangeSet, len(s.cursors))
+	for i, c := range s.cursors {
+		cs, ok := c.Next()
+		if !ok {
+			c = graph.NewCursor(s.streams[i]) // wrap around
+			s.cursors[i] = c
+			cs, ok = c.Next()
+			if !ok {
+				continue
+			}
+		}
+		if len(cs) > 0 {
+			changes[s.ids[i]] = cs
+		}
+	}
+	if _, err := s.mon.StepAll(changes); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchStream(b *testing.B, mk func() core.Filter, w streamBenchWorkload) {
+	workloads()
+	s := newStepper(b, mk(), w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(b)
+	}
+}
+
+// --- Figure 2: preliminary comparison (per-timestamp cost) ---
+
+func BenchmarkFig02_GraphGrep(b *testing.B) {
+	benchStream(b, func() core.Filter { return graphgrep.New(graphgrep.DefaultLength) }, benchSparse(b))
+}
+
+func BenchmarkFig02_GIndex2(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting2()) }, benchSparse(b))
+}
+
+func BenchmarkFig02_NPVDSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchSparse(b))
+}
+
+func benchSparse(b *testing.B) streamBenchWorkload { workloads(); return wSparse }
+func benchDense(b *testing.B) streamBenchWorkload  { workloads(); return wDense }
+func benchReal(b *testing.B) streamBenchWorkload   { workloads(); return wReal }
+
+// --- Figure 12: NNT depth sweep (candidate computation per query) ---
+
+func BenchmarkFig12_Depth(b *testing.B) {
+	workloads()
+	r := rand.New(rand.NewSource(112))
+	queries := datagen.QuerySet(chemDB, 10, 8, r)
+	for _, depth := range []int{1, 2, 3, 4} {
+		b.Run(map[int]string{1: "L1", 2: "L2", 3: "L3", 4: "L4"}[depth], func(b *testing.B) {
+			vecs := make([][]npv.Vector, len(chemDB))
+			for i, g := range chemDB {
+				for _, v := range npv.ProjectGraph(g, depth) {
+					vecs[i] = append(vecs[i], v)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				var qv []npv.Vector
+				for _, v := range npv.ProjectGraph(q, depth) {
+					qv = append(qv, v)
+				}
+				maximal := skyline.Maximal(qv)
+				count := 0
+			graphs:
+				for gi := range vecs {
+					for _, u := range maximal {
+						ok := false
+						for _, v := range vecs[gi] {
+							if v.Dominates(u) {
+								ok = true
+								break
+							}
+						}
+						if !ok {
+							continue graphs
+						}
+					}
+					count++
+				}
+				_ = count
+			}
+		})
+	}
+}
+
+// --- Figure 13: static effectiveness (per-query filtering cost) ---
+
+func BenchmarkFig13_NPVQuery(b *testing.B) {
+	workloads()
+	r := rand.New(rand.NewSource(113))
+	queries := datagen.QuerySet(synDB, 10, 8, r)
+	vecs := make([][]npv.Vector, len(synDB))
+	for i, g := range synDB {
+		for _, v := range npv.ProjectGraph(g, join.DefaultDepth) {
+			vecs[i] = append(vecs[i], v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		var qv []npv.Vector
+		for _, v := range npv.ProjectGraph(q, join.DefaultDepth) {
+			qv = append(qv, v)
+		}
+		maximal := skyline.Maximal(qv)
+		count := 0
+	graphs:
+		for gi := range vecs {
+			for _, u := range maximal {
+				ok := false
+				for _, v := range vecs[gi] {
+					if v.Dominates(u) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue graphs
+				}
+			}
+			count++
+		}
+		_ = count
+	}
+}
+
+func BenchmarkFig13_GIndex1Query(b *testing.B) {
+	workloads()
+	r := rand.New(rand.NewSource(113))
+	queries := datagen.QuerySet(synDB, 10, 8, r)
+	idx := gindex.Build(synDB, gindex.Setting1().MineConfig(len(synDB)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Candidates(queries[i%len(queries)], len(synDB))
+	}
+}
+
+func BenchmarkFig13_GIndex1Mining(b *testing.B) {
+	workloads()
+	for i := 0; i < b.N; i++ {
+		_ = gindex.Build(synDB, gindex.Setting1().MineConfig(len(synDB)))
+	}
+}
+
+func BenchmarkFig13_GraphGrepQuery(b *testing.B) {
+	workloads()
+	r := rand.New(rand.NewSource(113))
+	queries := datagen.QuerySet(synDB, 10, 8, r)
+	fps := make([]graphgrep.Fingerprint, len(synDB))
+	for i, g := range synDB {
+		fps[i] = graphgrep.Compute(g, graphgrep.DefaultLength)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qfp := graphgrep.Compute(queries[i%len(queries)], graphgrep.DefaultLength)
+		count := 0
+		for gi := range fps {
+			if graphgrep.Covers(fps[gi], qfp) {
+				count++
+			}
+		}
+		_ = count
+	}
+}
+
+// --- Figures 14/15: stream effectiveness & efficiency (per-timestamp) ---
+
+func BenchmarkFig1415_Real_GraphGrep(b *testing.B) {
+	benchStream(b, func() core.Filter { return graphgrep.New(graphgrep.DefaultLength) }, benchReal(b))
+}
+
+func BenchmarkFig1415_Real_GIndex1(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting1()) }, benchReal(b))
+}
+
+func BenchmarkFig1415_Real_GIndex2(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting2()) }, benchReal(b))
+}
+
+func BenchmarkFig1415_Real_NPVDSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchReal(b))
+}
+
+func BenchmarkFig1415_SynSparse_GraphGrep(b *testing.B) {
+	benchStream(b, func() core.Filter { return graphgrep.New(graphgrep.DefaultLength) }, benchSparse(b))
+}
+
+func BenchmarkFig1415_SynSparse_GIndex1(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting1()) }, benchSparse(b))
+}
+
+func BenchmarkFig1415_SynSparse_GIndex2(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting2()) }, benchSparse(b))
+}
+
+func BenchmarkFig1415_SynSparse_NPVDSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchSparse(b))
+}
+
+func BenchmarkFig1415_SynDense_GraphGrep(b *testing.B) {
+	benchStream(b, func() core.Filter { return graphgrep.New(graphgrep.DefaultLength) }, benchDense(b))
+}
+
+func BenchmarkFig1415_SynDense_GIndex2(b *testing.B) {
+	benchStream(b, func() core.Filter { return gindex.New(gindex.Setting2()) }, benchDense(b))
+}
+
+func BenchmarkFig1415_SynDense_NPVDSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchDense(b))
+}
+
+// --- Figure 16: query scalability (join strategies at max queries) ---
+
+func BenchmarkFig16_NL(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewNL(join.DefaultDepth) }, benchSparse(b))
+}
+
+func BenchmarkFig16_DSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchSparse(b))
+}
+
+func BenchmarkFig16_Skyline(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, benchSparse(b))
+}
+
+// --- Figure 17: stream scalability (join strategies on the real data) ---
+
+func BenchmarkFig17_NL(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewNL(join.DefaultDepth) }, benchReal(b))
+}
+
+func BenchmarkFig17_DSC(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchReal(b))
+}
+
+func BenchmarkFig17_Skyline(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, benchReal(b))
+}
+
+// --- Ablation: branch-compatible NNT vs NPV vs exact ---
+
+func BenchmarkAblation_Branch(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewBranch(join.DefaultDepth) }, benchSparse(b))
+}
+
+func BenchmarkAblation_Exact(b *testing.B) {
+	benchStream(b, func() core.Filter { return join.NewExact() }, benchSparse(b))
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkNNTMaintenance measures the Insert-Edge/Delete-Edge procedures
+// of Section III-B (Lemma 3.2) in isolation.
+func BenchmarkNNTMaintenance(b *testing.B) {
+	workloads()
+	tpl := wSparse.streams[0]
+	f := nnt.NewForest(tpl.Start, join.DefaultDepth)
+	cur := graph.NewCursor(tpl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, ok := cur.Next()
+		if !ok {
+			b.StopTimer()
+			cur = graph.NewCursor(tpl)
+			f = nnt.NewForest(tpl.Start, join.DefaultDepth)
+			b.StartTimer()
+			cs, _ = cur.Next()
+		}
+		if err := f.ApplySet(cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVF2HardInstance shows why the paper avoids exact isomorphism on
+// the hot path: a near-regular unlabeled instance forces deep backtracking.
+func BenchmarkVF2HardInstance(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	g := graph.New()
+	const n = 26
+	for i := 0; i < n; i++ {
+		_ = g.AddVertex(graph.VertexID(i), 0)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.45 {
+				_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+			}
+		}
+	}
+	// Query: a 9-vertex near-clique that is absent.
+	q := graph.New()
+	for i := 0; i < 9; i++ {
+		_ = q.AddVertex(graph.VertexID(i), 0)
+	}
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			if (i+j)%7 != 0 {
+				_ = q.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+			}
+		}
+	}
+	m := iso.NewMatcher(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Contains(g)
+	}
+}

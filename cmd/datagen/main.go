@@ -1,0 +1,126 @@
+// Command datagen generates the repository's workload files: static graph
+// databases (synthetic Kuramochi–Karypis-style or AIDS-like chemical),
+// query pattern sets, and graph streams (synthetic flip-process or
+// Reality-Mining-like proximity traces), in the text formats that
+// cmd/streamwatch consumes.
+//
+// Examples:
+//
+//	datagen -kind chemical -n 1000 -out compounds.g
+//	datagen -kind synthetic -n 500 -out db.g
+//	datagen -kind queries -n 100 -m 8 -from db.g -out q8.g
+//	datagen -kind synstream -n 10 -ts 500 -outdir streams/
+//	datagen -kind proxstream -n 5 -ts 500 -outdir streams/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"nntstream/internal/datagen"
+	"nntstream/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	kind := flag.String("kind", "synthetic", "synthetic, chemical, queries, synstream, proxstream")
+	n := flag.Int("n", 100, "number of graphs / queries / streams")
+	m := flag.Int("m", 8, "query size in edges (kind=queries)")
+	ts := flag.Int("ts", 200, "timestamps per stream (stream kinds)")
+	from := flag.String("from", "", "source database (kind=queries)")
+	out := flag.String("out", "", "output file (graph kinds)")
+	outdir := flag.String("outdir", "", "output directory (stream kinds)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	sparse := flag.Bool("sparse", true, "synstream: sparse (p1=10%,p2=30%) vs dense (p1=20%,p2=15%)")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	switch *kind {
+	case "synthetic":
+		cfg := datagen.StaticSyntheticDefaults()
+		cfg.NumGraphs = *n
+		writeDB(*out, datagen.Synthetic(cfg, r))
+	case "chemical":
+		cfg := datagen.ChemicalDefaults()
+		cfg.NumGraphs = *n
+		writeDB(*out, datagen.Chemical(cfg, r))
+	case "queries":
+		if *from == "" {
+			log.Fatal("-from is required for kind=queries")
+		}
+		f, err := os.Open(*from)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := graph.ReadDatabase(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeDB(*out, datagen.QuerySet(db, *n, *m, r))
+	case "synstream":
+		flip := datagen.SparseFlipDefaults()
+		if !*sparse {
+			flip = datagen.DenseFlipDefaults()
+		}
+		flip.Timestamps = *ts
+		cfg := datagen.DefaultStreamWorkload(flip)
+		cfg.Gen.NumGraphs = *n
+		w := datagen.SyntheticStreams(cfg, r)
+		writeStreams(*outdir, w.Streams)
+		writeDB(filepath.Join(*outdir, "queries.g"), w.Queries)
+		fmt.Printf("wrote %d streams and queries.g to %s\n", len(w.Streams), *outdir)
+	case "proxstream":
+		cfg := datagen.ProximityDefaults()
+		cfg.Timestamps = *ts
+		streams := datagen.ProximityStreams(cfg, *n, r)
+		writeStreams(*outdir, streams)
+		series := datagen.Proximity(cfg, rand.New(rand.NewSource(*seed)))
+		queries := datagen.ProximityQueries(series, *n, 2, 6, r)
+		writeDB(filepath.Join(*outdir, "queries.g"), queries)
+		fmt.Printf("wrote %d streams and queries.g to %s\n", len(streams), *outdir)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}
+
+func writeDB(path string, db []*graph.Graph) {
+	if path == "" {
+		log.Fatal("-out is required")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteDatabase(f, db); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d graphs to %s\n", len(db), path)
+}
+
+func writeStreams(dir string, streams []*graph.Stream) {
+	if dir == "" {
+		log.Fatal("-outdir is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range streams {
+		path := filepath.Join(dir, fmt.Sprintf("stream%03d.gs", i))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graph.WriteStream(f, s); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+}

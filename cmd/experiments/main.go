@@ -1,0 +1,116 @@
+// Command experiments regenerates the paper's tables and figures on the
+// reproduced system and prints them as markdown tables.
+//
+// Usage:
+//
+//	experiments [-fig all|2|12a|12b|13a|13b|14|15|16|17|ablation]
+//	            [-scale 0.1] [-seed 1] [-v]
+//
+// Scale 1.0 runs the paper's full workload sizes (slow; gIndex1 re-mining
+// dominates); the default regenerates every comparison at a laptop-friendly
+// size with identical shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nntstream/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2, 12a, 12b, 13a, 13b, 14, 15, 16, 17, ablation, all)")
+	scale := flag.Float64("scale", 0.1, "workload scale relative to the paper (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	single := func(run func(experiments.Config) (*experiments.Result, error)) func(experiments.Config) ([]*experiments.Result, error) {
+		return func(c experiments.Config) ([]*experiments.Result, error) {
+			res, err := run(c)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Result{res}, nil
+		}
+	}
+	type runner struct {
+		keys []string
+		run  func(experiments.Config) ([]*experiments.Result, error)
+	}
+	runners := []runner{
+		{[]string{"2"}, single(experiments.Fig02)},
+		{[]string{"12a"}, single(func(c experiments.Config) (*experiments.Result, error) {
+			return experiments.Fig12(c, experiments.DatasetAIDS)
+		})},
+		{[]string{"12b"}, single(func(c experiments.Config) (*experiments.Result, error) {
+			return experiments.Fig12(c, experiments.DatasetSynthetic)
+		})},
+		{[]string{"13a"}, single(func(c experiments.Config) (*experiments.Result, error) {
+			return experiments.Fig13(c, experiments.DatasetAIDS)
+		})},
+		{[]string{"13b"}, single(func(c experiments.Config) (*experiments.Result, error) {
+			return experiments.Fig13(c, experiments.DatasetSynthetic)
+		})},
+		// Figures 14 and 15 come from one shared run.
+		{[]string{"14", "15"}, func(c experiments.Config) ([]*experiments.Result, error) {
+			r14, r15, err := experiments.Fig1415(c)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Result{r14, r15}, nil
+		}},
+		{[]string{"16"}, single(experiments.Fig16)},
+		{[]string{"17"}, single(experiments.Fig17)},
+		{[]string{"ablation"}, single(experiments.Ablation)},
+		{[]string{"scaling"}, single(experiments.Scaling)},
+	}
+
+	want := strings.Split(*fig, ",")
+	matches := func(keys []string) bool {
+		for _, w := range want {
+			if w == "all" {
+				return true
+			}
+			for _, k := range keys {
+				if w == k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !matches(r.keys) {
+			continue
+		}
+		results, err := r.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", strings.Join(r.keys, "/"), err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			res.Fprint(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		printUsage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, "figures: 2 12a 12b 13a 13b 14 15 16 17 ablation scaling all")
+}

@@ -1,0 +1,126 @@
+// Command serve runs the continuous subgraph-search monitor as an HTTP
+// service (see internal/server for the API). Streams are sharded across
+// filter instances for multi-core throughput.
+//
+//	serve [-addr :8080] [-filter dsc|skyline|nl|branch|graphgrep|gindex1|gindex2|exact]
+//	      [-depth 3] [-shards 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nntstream/internal/core"
+	"nntstream/internal/gindex"
+	"nntstream/internal/graphgrep"
+	"nntstream/internal/join"
+	"nntstream/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	filterName := flag.String("filter", "dsc", "filter: dsc, skyline, nl, branch, graphgrep, gindex1, gindex2, exact")
+	depth := flag.Int("depth", join.DefaultDepth, "NNT depth bound for the NPV filters")
+	shards := flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS; 1 disables sharding; snapshots require 1)")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored on boot if present, written on shutdown")
+	flag.Parse()
+
+	factory, err := filterFactory(*filterName, *depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var engine server.Engine
+	var mon *core.Monitor
+	if *shards == 1 || *snapshot != "" {
+		if *snapshot != "" && *shards > 1 {
+			log.Fatal("-snapshot requires -shards 1")
+		}
+		mon = core.NewMonitor(factory())
+		if *snapshot != "" {
+			if f, err := os.Open(*snapshot); err == nil {
+				restored, rerr := core.RestoreMonitor(f, factory())
+				f.Close()
+				if rerr != nil {
+					log.Fatalf("restoring %s: %v", *snapshot, rerr)
+				}
+				mon = restored
+				log.Printf("restored %d queries, %d streams from %s",
+					mon.QueryCount(), mon.StreamCount(), *snapshot)
+			} else if !os.IsNotExist(err) {
+				log.Fatal(err)
+			}
+		}
+		engine = mon
+	} else {
+		engine = core.NewShardedMonitor(core.FilterFactory(factory), *shards)
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s (filter=%s)", *addr, *filterName)
+		if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *snapshot != "" && mon != nil {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		if err := mon.WriteSnapshot(f); err != nil {
+			f.Close()
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		log.Printf("snapshot written to %s", *snapshot)
+	}
+}
+
+func filterFactory(name string, depth int) (func() core.Filter, error) {
+	switch name {
+	case "dsc":
+		return func() core.Filter { return join.NewDSC(depth) }, nil
+	case "skyline":
+		return func() core.Filter { return join.NewSkyline(depth) }, nil
+	case "nl":
+		return func() core.Filter { return join.NewNL(depth) }, nil
+	case "branch":
+		return func() core.Filter { return join.NewBranch(depth) }, nil
+	case "graphgrep":
+		return func() core.Filter { return graphgrep.New(graphgrep.DefaultLength) }, nil
+	case "gindex1":
+		return func() core.Filter { return gindex.New(gindex.Setting1()) }, nil
+	case "gindex2":
+		return func() core.Filter { return gindex.New(gindex.Setting2()) }, nil
+	case "exact":
+		return func() core.Filter { return join.NewExact() }, nil
+	default:
+		return nil, fmt.Errorf("unknown filter %q", name)
+	}
+}

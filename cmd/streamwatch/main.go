@@ -1,0 +1,160 @@
+// Command streamwatch runs continuous subgraph pattern search over recorded
+// graph streams: it loads a query database and one or more stream files,
+// drives the selected filter timestamp by timestamp, and prints the
+// possibly-joinable (stream, query) pairs whenever they change.
+//
+// Usage:
+//
+//	streamwatch -queries patterns.g [-filter dsc|skyline|nl|branch|graphgrep|gindex1|gindex2|exact]
+//	            [-depth 3] [-verify] stream1.gs [stream2.gs ...]
+//
+// File formats are the line-oriented formats of internal/graph: query
+// databases use gSpan-style "t/v/e" sections, streams add "ts" sections
+// with "+ u v ulab vlab elab" and "- u v" change lines (see cmd/datagen to
+// generate both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nntstream/internal/core"
+	"nntstream/internal/gindex"
+	"nntstream/internal/graph"
+	"nntstream/internal/graphgrep"
+	"nntstream/internal/join"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamwatch: ")
+	queriesPath := flag.String("queries", "", "query pattern database file (required)")
+	filterName := flag.String("filter", "dsc", "filter: dsc, skyline, nl, branch, graphgrep, gindex1, gindex2, exact")
+	depth := flag.Int("depth", join.DefaultDepth, "NNT depth bound for the NPV filters")
+	verify := flag.Bool("verify", false, "confirm reported pairs with exact isomorphism")
+	quiet := flag.Bool("quiet", false, "only print the summary")
+	flag.Parse()
+
+	if *queriesPath == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := makeFilter(*filterName, *depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := core.NewMonitor(f)
+
+	qf, err := os.Open(*queriesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := graph.ReadDatabase(qf)
+	qf.Close()
+	if err != nil {
+		log.Fatalf("reading queries: %v", err)
+	}
+	for _, q := range queries {
+		if _, err := mon.AddQuery(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var cursors []*graph.Cursor
+	var ids []core.StreamID
+	for _, path := range flag.Args() {
+		sf, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := graph.ReadStream(sf)
+		sf.Close()
+		if err != nil {
+			log.Fatalf("reading stream %s: %v", path, err)
+		}
+		id, err := mon.AddStream(s.Start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cursors = append(cursors, graph.NewCursor(s))
+		ids = append(ids, id)
+	}
+	fmt.Printf("watching %d streams for %d patterns with %s\n",
+		len(ids), len(queries), mon.Filter().Name())
+
+	prev := ""
+	t := 0
+	for {
+		changes := make(map[core.StreamID]graph.ChangeSet)
+		advanced := false
+		for i, c := range cursors {
+			cs, ok := c.Next()
+			if !ok {
+				continue
+			}
+			advanced = true
+			if len(cs) > 0 {
+				changes[ids[i]] = cs
+			}
+		}
+		if !advanced {
+			break
+		}
+		t++
+		pairs, err := mon.StepAll(changes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verify {
+			pairs = confirm(mon, pairs)
+		}
+		if cur := fmt.Sprint(pairs); cur != prev && !*quiet {
+			fmt.Printf("t=%d: %v\n", t, pairs)
+			prev = cur
+		}
+	}
+
+	st := mon.Stats()
+	fmt.Printf("done: %d timestamps, avg filter time %v, candidate ratio %.2f%%\n",
+		st.Timestamps, st.AvgTimePerTimestamp(), 100*st.CandidateRatio())
+}
+
+func confirm(mon *core.Monitor, pairs []core.Pair) []core.Pair {
+	exact := make(map[core.Pair]bool)
+	for _, p := range mon.ExactPairs() {
+		exact[p] = true
+	}
+	var out []core.Pair
+	for _, p := range pairs {
+		if exact[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func makeFilter(name string, depth int) (core.Filter, error) {
+	switch name {
+	case "dsc":
+		return join.NewDSC(depth), nil
+	case "skyline":
+		return join.NewSkyline(depth), nil
+	case "nl":
+		return join.NewNL(depth), nil
+	case "branch":
+		return join.NewBranch(depth), nil
+	case "graphgrep":
+		return graphgrep.New(graphgrep.DefaultLength), nil
+	case "gindex1":
+		return gindex.New(gindex.Setting1()), nil
+	case "gindex2":
+		return gindex.New(gindex.Setting2()), nil
+	case "exact":
+		return join.NewExact(), nil
+	default:
+		return nil, fmt.Errorf("unknown filter %q", name)
+	}
+}

@@ -1,0 +1,176 @@
+// Chemical reaction monitoring — the paper's second motivating domain:
+// during a reaction, compound structures change over time, and a chemist
+// wants to know the moment a functional group (a subgraph pattern) can have
+// formed in any of the evolving molecules.
+//
+// The example watches a batch of evolving molecules for two functional
+// groups (a carboxyl-like motif and a six-ring), using the dominated-set-
+// cover join; each reported candidate is confirmed exactly.
+//
+//	go run ./examples/chemistry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nntstream/internal/core"
+	"nntstream/internal/datagen"
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+	"nntstream/internal/join"
+)
+
+// Atom labels match the chemical generator's convention: 0 plays carbon,
+// 1 oxygen.
+const (
+	carbon = graph.Label(0)
+	oxygen = graph.Label(1)
+)
+
+// Bond labels.
+const (
+	single = graph.Label(0)
+	double = graph.Label(1)
+)
+
+func main() {
+	// Pattern 1: carboxyl-like motif C(=O)–O–C.
+	carboxyl := graph.New()
+	mustAdd(carboxyl, 0, carbon)
+	mustAdd(carboxyl, 1, oxygen)
+	mustAdd(carboxyl, 2, oxygen)
+	mustAdd(carboxyl, 3, carbon)
+	mustEdge(carboxyl, 0, 1, double)
+	mustEdge(carboxyl, 0, 2, single)
+	mustEdge(carboxyl, 2, 3, single)
+
+	// Pattern 2: a six-carbon ring.
+	ring := graph.New()
+	for i := graph.VertexID(0); i < 6; i++ {
+		mustAdd(ring, i, carbon)
+	}
+	for i := graph.VertexID(0); i < 6; i++ {
+		mustEdge(ring, i, (i+1)%6, single)
+	}
+
+	mon := core.NewMonitor(join.NewDSC(join.DefaultDepth))
+	names := make(map[core.QueryID]string)
+	for name, q := range map[string]*graph.Graph{"carboxyl": carboxyl, "six-ring": ring} {
+		id, err := mon.AddQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[id] = name
+	}
+
+	// A small batch of molecules from the AIDS-like generator.
+	r := rand.New(rand.NewSource(11))
+	cfg := datagen.ChemicalDefaults()
+	cfg.NumGraphs = 6
+	molecules := datagen.Chemical(cfg, r)
+	ids := make([]core.StreamID, len(molecules))
+	for i, m := range molecules {
+		id, err := mon.AddStream(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
+	}
+	verifiers := make(map[core.QueryID]*iso.Matcher)
+	for id := range names {
+		verifiers[id] = iso.NewMatcher(mon.Query(id))
+	}
+
+	fmt.Printf("watching %d molecules for %d functional groups…\n", len(molecules), len(names))
+	seen := make(map[core.Pair]bool)
+	for t := 1; t <= 25; t++ {
+		changes := make(map[core.StreamID]graph.ChangeSet)
+		for i, sid := range ids {
+			if cs := reactionStep(r, mon.StreamGraph(sid), i, t); len(cs) > 0 {
+				changes[sid] = cs
+			}
+		}
+		pairs, err := mon.StepAll(changes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pairs {
+			if seen[p] {
+				continue // only announce new formations
+			}
+			seen[p] = true
+			verdict := "confirmed"
+			if !verifiers[p.Query].Contains(mon.StreamGraph(p.Stream)) {
+				verdict = "filter candidate only"
+			}
+			fmt.Printf("t=%2d  molecule %d can contain %-8s (%s)\n", t, p.Stream, names[p.Query], verdict)
+		}
+		// Forget pairs that no longer hold so re-formations are announced.
+		cur := make(map[core.Pair]bool, len(pairs))
+		for _, p := range pairs {
+			cur[p] = true
+		}
+		for p := range seen {
+			if !cur[p] {
+				delete(seen, p)
+			}
+		}
+	}
+	st := mon.Stats()
+	fmt.Printf("\n%d timestamps, avg filter time %v per timestamp\n", st.Timestamps, st.AvgTimePerTimestamp())
+}
+
+// reactionStep mutates a molecule: occasionally oxidize a bond (single →
+// double via delete+insert), attach an oxygen, or close a ring.
+func reactionStep(r *rand.Rand, m *graph.Graph, mol, t int) graph.ChangeSet {
+	edges := m.Edges()
+	if len(edges) == 0 {
+		return nil
+	}
+	var cs graph.ChangeSet
+	switch r.Intn(4) {
+	case 0: // oxidize a random carbon: attach =O
+		vids := m.VertexIDs()
+		v := vids[r.Intn(len(vids))]
+		if l, _ := m.VertexLabel(v); l == carbon {
+			next := vids[len(vids)-1] + 1
+			cs = append(cs, graph.InsertOp(v, carbon, next, oxygen, double))
+		}
+	case 1: // esterify: attach –O–C chain
+		vids := m.VertexIDs()
+		v := vids[r.Intn(len(vids))]
+		if l, _ := m.VertexLabel(v); l == carbon {
+			next := vids[len(vids)-1] + 1
+			cs = append(cs,
+				graph.InsertOp(v, carbon, next, oxygen, single),
+				graph.InsertOp(next, oxygen, next+1, carbon, single))
+		}
+	case 2: // ring closure between two carbons
+		vids := m.VertexIDs()
+		a := vids[r.Intn(len(vids))]
+		b := vids[r.Intn(len(vids))]
+		la, _ := m.VertexLabel(a)
+		lb, _ := m.VertexLabel(b)
+		if a != b && la == carbon && lb == carbon && !m.HasEdge(a, b) {
+			cs = append(cs, graph.InsertOp(a, carbon, b, carbon, single))
+		}
+	case 3: // bond cleavage
+		e := edges[r.Intn(len(edges))]
+		cs = append(cs, graph.DeleteOp(e.U, e.V))
+	}
+	return cs
+}
+
+func mustAdd(g *graph.Graph, v graph.VertexID, l graph.Label) {
+	if err := g.AddVertex(v, l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustEdge(g *graph.Graph, u, v graph.VertexID, l graph.Label) {
+	if err := g.AddEdge(u, v, l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module nntstream
+
+go 1.22

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/join"
+)
+
+// ExampleMonitor runs the full continuous-search loop: register a pattern,
+// register a stream, apply change operations, read candidates.
+func ExampleMonitor() {
+	// Pattern: an A—B edge.
+	q := graph.New()
+	_ = q.AddVertex(0, 0)
+	_ = q.AddVertex(1, 1)
+	_ = q.AddEdge(0, 1, 0)
+
+	// Stream starts as an A—C edge: no match.
+	g0 := graph.New()
+	_ = g0.AddVertex(10, 0)
+	_ = g0.AddVertex(11, 2)
+	_ = g0.AddEdge(10, 11, 0)
+
+	mon := core.NewMonitor(join.NewDSC(join.DefaultDepth))
+	qid, _ := mon.AddQuery(q)
+	sid, _ := mon.AddStream(g0)
+
+	fmt.Println("t=0:", mon.Candidates())
+
+	// t=1: a B vertex attaches to the A vertex — the pattern appears.
+	pairs, _ := mon.Step(sid, graph.ChangeSet{graph.InsertOp(10, 0, 12, 1, 0)})
+	fmt.Println("t=1:", pairs)
+
+	// t=2: it detaches again.
+	pairs, _ = mon.Step(sid, graph.ChangeSet{graph.DeleteOp(10, 12)})
+	fmt.Println("t=2:", pairs)
+	_ = qid
+	// Output:
+	// t=0: []
+	// t=1: [(G0,Q0)]
+	// t=2: []
+}

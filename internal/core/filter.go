@@ -1,0 +1,76 @@
+// Package core is the continuous-monitoring engine: it registers a fixed
+// set of query pattern graphs and a set of graph streams, advances the
+// streams by graph change operations, and reports, at every timestamp, the
+// possibly-joinable (stream, query) pairs produced by a pluggable filter
+// (Definition 2.8). Filters must never produce false negatives; the Monitor
+// can verify candidates with exact subgraph isomorphism to measure a
+// filter's false-positive rate.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nntstream/internal/graph"
+)
+
+// QueryID identifies a registered query pattern.
+type QueryID int
+
+// StreamID identifies a registered graph stream.
+type StreamID int
+
+// Pair is one possibly-joinable (stream, query) pair reported at a
+// timestamp.
+type Pair struct {
+	Stream StreamID
+	Query  QueryID
+}
+
+func (p Pair) String() string { return fmt.Sprintf("(G%d,Q%d)", p.Stream, p.Query) }
+
+// SortPairs orders pairs by (Stream, Query) in place and returns the slice.
+func SortPairs(ps []Pair) []Pair {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Stream != ps[j].Stream {
+			return ps[i].Stream < ps[j].Stream
+		}
+		return ps[i].Query < ps[j].Query
+	})
+	return ps
+}
+
+// Filter is a continuous subgraph-search filter. Implementations maintain
+// whatever per-stream state they need; the Monitor guarantees that all
+// queries are registered before the first stream (the paper assumes a fixed
+// query workload derived from domain knowledge), that stream change sets
+// arrive in timestamp order, and that calls are not concurrent.
+//
+// The contract every implementation must honor: after any sequence of
+// AddQuery/AddStream/Apply calls, Candidates contains every pair (G,Q) for
+// which Q is subgraph-isomorphic to the current graph of G. False positives
+// are permitted (fewer is better); false negatives are not.
+type Filter interface {
+	// Name identifies the filter in reports and benchmarks.
+	Name() string
+	// AddQuery registers a query pattern. Called before any AddStream.
+	AddQuery(id QueryID, q *graph.Graph) error
+	// AddStream registers a stream with its starting graph G_0.
+	AddStream(id StreamID, g0 *graph.Graph) error
+	// Apply advances one stream by one timestamp's change set.
+	Apply(id StreamID, cs graph.ChangeSet) error
+	// Candidates returns the current possibly-joinable pairs, sorted by
+	// (Stream, Query).
+	Candidates() []Pair
+}
+
+// DynamicFilter extends Filter with a dynamic query workload — the paper's
+// stated future work (Section II-B). Implementations accept AddQuery after
+// streams are registered (immediately evaluating the new pattern against
+// every current stream graph) and support removing a registered pattern.
+type DynamicFilter interface {
+	Filter
+	// RemoveQuery deregisters a pattern; it no longer appears in
+	// Candidates.
+	RemoveQuery(id QueryID) error
+}

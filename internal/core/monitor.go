@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+)
+
+// Monitor drives a Filter over a workload of queries and streams, keeps the
+// canonical stream graphs for verification, and accumulates timing and
+// effectiveness statistics.
+type Monitor struct {
+	filter   Filter
+	queries  map[QueryID]*graph.Graph
+	matchers map[QueryID]*iso.Matcher
+	streams  map[StreamID]*graph.Graph
+	nextQ    QueryID
+	nextS    StreamID
+	sealed   bool // set once the first stream is added; no more queries
+	stats    Stats
+}
+
+// Stats accumulates per-run measurements.
+type Stats struct {
+	// Timestamps is the number of StepAll/Step rounds processed.
+	Timestamps int
+	// FilterTime is the total wall time spent inside the filter's Apply
+	// and Candidates calls.
+	FilterTime time.Duration
+	// CandidatePairs sums the number of reported pairs over all rounds.
+	CandidatePairs int64
+	// TotalPairs sums streams×queries over all rounds.
+	TotalPairs int64
+}
+
+// AvgTimePerTimestamp returns FilterTime divided by rounds.
+func (s Stats) AvgTimePerTimestamp() time.Duration {
+	if s.Timestamps == 0 {
+		return 0
+	}
+	return s.FilterTime / time.Duration(s.Timestamps)
+}
+
+// CandidateRatio is the fraction of all (stream, query) pairs reported as
+// candidates, averaged over the run — the paper's "candidate size" metric.
+func (s Stats) CandidateRatio() float64 {
+	if s.TotalPairs == 0 {
+		return 0
+	}
+	return float64(s.CandidatePairs) / float64(s.TotalPairs)
+}
+
+// NewMonitor wraps a filter.
+func NewMonitor(f Filter) *Monitor {
+	return &Monitor{
+		filter:   f,
+		queries:  make(map[QueryID]*graph.Graph),
+		matchers: make(map[QueryID]*iso.Matcher),
+		streams:  make(map[StreamID]*graph.Graph),
+	}
+}
+
+// Filter returns the wrapped filter.
+func (m *Monitor) Filter() Filter { return m.filter }
+
+// AddQuery registers a query pattern. The paper's base model fixes the
+// query set before streaming starts; filters implementing DynamicFilter
+// (its stated future work) also accept queries while streams are live.
+func (m *Monitor) AddQuery(q *graph.Graph) (QueryID, error) {
+	if m.sealed {
+		if _, ok := m.filter.(DynamicFilter); !ok {
+			return 0, fmt.Errorf("core: filter %s requires all queries before streams", m.filter.Name())
+		}
+	}
+	id := m.nextQ
+	m.nextQ++
+	if err := m.filter.AddQuery(id, q); err != nil {
+		return 0, err
+	}
+	m.queries[id] = q.Clone()
+	m.matchers[id] = iso.NewMatcher(m.queries[id])
+	return id, nil
+}
+
+// RemoveQuery deregisters a pattern. It requires a DynamicFilter.
+func (m *Monitor) RemoveQuery(id QueryID) error {
+	df, ok := m.filter.(DynamicFilter)
+	if !ok {
+		return fmt.Errorf("core: filter %s does not support query removal", m.filter.Name())
+	}
+	if _, ok := m.queries[id]; !ok {
+		return fmt.Errorf("core: unknown query %d", id)
+	}
+	if err := df.RemoveQuery(id); err != nil {
+		return err
+	}
+	delete(m.queries, id)
+	delete(m.matchers, id)
+	return nil
+}
+
+// AddStream registers a stream with starting graph g0.
+func (m *Monitor) AddStream(g0 *graph.Graph) (StreamID, error) {
+	m.sealed = true
+	id := m.nextS
+	m.nextS++
+	if err := m.filter.AddStream(id, g0); err != nil {
+		return 0, err
+	}
+	m.streams[id] = g0.Clone()
+	return id, nil
+}
+
+// QueryCount and StreamCount report workload sizes.
+func (m *Monitor) QueryCount() int  { return len(m.queries) }
+func (m *Monitor) StreamCount() int { return len(m.streams) }
+
+// StreamGraph returns the canonical current graph of a stream. Callers must
+// not mutate it.
+func (m *Monitor) StreamGraph(id StreamID) *graph.Graph { return m.streams[id] }
+
+// Query returns a registered query graph. Callers must not mutate it.
+func (m *Monitor) Query(id QueryID) *graph.Graph { return m.queries[id] }
+
+// StepAll advances one global timestamp: each entry applies a change set to
+// one stream (streams without an entry are unchanged), then the filter's
+// candidate set is collected. It returns the candidates and records stats.
+func (m *Monitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	for id, cs := range changes {
+		g, ok := m.streams[id]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown stream %d", id)
+		}
+		norm := cs.Normalize()
+		start := time.Now()
+		if err := m.filter.Apply(id, norm); err != nil {
+			return nil, fmt.Errorf("core: filter %s apply on stream %d: %w", m.filter.Name(), id, err)
+		}
+		m.stats.FilterTime += time.Since(start)
+		if err := norm.Apply(g); err != nil {
+			return nil, fmt.Errorf("core: canonical graph of stream %d: %w", id, err)
+		}
+	}
+	start := time.Now()
+	cands := m.filter.Candidates()
+	m.stats.FilterTime += time.Since(start)
+	m.stats.Timestamps++
+	m.stats.CandidatePairs += int64(len(cands))
+	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
+	return cands, nil
+}
+
+// Step advances a single stream by one timestamp.
+func (m *Monitor) Step(id StreamID, cs graph.ChangeSet) ([]Pair, error) {
+	return m.StepAll(map[StreamID]graph.ChangeSet{id: cs})
+}
+
+// Candidates returns the filter's current candidate pairs without advancing
+// time or recording stats.
+func (m *Monitor) Candidates() []Pair { return m.filter.Candidates() }
+
+// ExactPairs computes the ground-truth joinable pairs with subgraph
+// isomorphism over the canonical graphs. It is exponential in the worst
+// case and intended for evaluation, not the monitoring hot path.
+func (m *Monitor) ExactPairs() []Pair {
+	var out []Pair
+	for sid, g := range m.streams {
+		for qid, matcher := range m.matchers {
+			if matcher.Contains(g) {
+				out = append(out, Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return SortPairs(out)
+}
+
+// VerifyNoFalseNegatives checks that every exact pair is reported by the
+// filter, returning the missed pairs (empty means the filter is sound at
+// this timestamp).
+func (m *Monitor) VerifyNoFalseNegatives() []Pair {
+	cands := make(map[Pair]bool)
+	for _, p := range m.filter.Candidates() {
+		cands[p] = true
+	}
+	var missed []Pair
+	for _, p := range m.ExactPairs() {
+		if !cands[p] {
+			missed = append(missed, p)
+		}
+	}
+	return missed
+}
+
+// FalsePositives returns the currently reported pairs that are not exact
+// matches.
+func (m *Monitor) FalsePositives() []Pair {
+	exact := make(map[Pair]bool)
+	for _, p := range m.ExactPairs() {
+		exact[p] = true
+	}
+	var fps []Pair
+	for _, p := range m.filter.Candidates() {
+		if !exact[p] {
+			fps = append(fps, p)
+		}
+	}
+	return SortPairs(fps)
+}
+
+// Stats returns accumulated statistics.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics (e.g. after a warm-up phase).
+func (m *Monitor) ResetStats() { m.stats = Stats{} }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+// passthrough is a trivial filter that reports every pair as a candidate —
+// sound (no false negatives) but maximally imprecise.
+type passthrough struct {
+	queries []QueryID
+	streams []StreamID
+}
+
+func (p *passthrough) Name() string { return "passthrough" }
+func (p *passthrough) AddQuery(id QueryID, _ *graph.Graph) error {
+	p.queries = append(p.queries, id)
+	return nil
+}
+func (p *passthrough) AddStream(id StreamID, _ *graph.Graph) error {
+	p.streams = append(p.streams, id)
+	return nil
+}
+func (p *passthrough) Apply(StreamID, graph.ChangeSet) error { return nil }
+func (p *passthrough) Candidates() []Pair {
+	var out []Pair
+	for _, s := range p.streams {
+		for _, q := range p.queries {
+			out = append(out, Pair{Stream: s, Query: q})
+		}
+	}
+	return SortPairs(out)
+}
+
+func buildGraph(t *testing.T, vlabels map[graph.VertexID]graph.Label, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for v, l := range vlabels {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]), graph.Label(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	qid, err := m.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2},
+		[][3]int{{0, 1, 0}, {1, 2, 0}})
+	sid, err := m.AddStream(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueryCount() != 1 || m.StreamCount() != 1 {
+		t.Fatal("counts wrong")
+	}
+	// Queries after streams are rejected.
+	if _, err := m.AddQuery(q); err == nil {
+		t.Fatal("query after stream should fail")
+	}
+	// Step advances the canonical graph.
+	if _, err := m.Step(sid, graph.ChangeSet{graph.DeleteOp(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if m.StreamGraph(sid).EdgeCount() != 1 {
+		t.Fatal("canonical graph not advanced")
+	}
+	if m.Query(qid) == nil {
+		t.Fatal("query not stored")
+	}
+	st := m.Stats()
+	if st.Timestamps != 1 || st.TotalPairs != 1 || st.CandidatePairs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CandidateRatio() != 1.0 {
+		t.Fatalf("CandidateRatio = %v", st.CandidateRatio())
+	}
+	m.ResetStats()
+	if m.Stats().Timestamps != 0 {
+		t.Fatal("ResetStats did not reset")
+	}
+}
+
+func TestMonitorExactAndVerification(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	// Query: A-B. Stream 0 contains it, stream 1 does not.
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if _, err := m.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	s0 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	s1 := buildGraph(t, map[graph.VertexID]graph.Label{0: 2, 1: 2}, [][3]int{{0, 1, 0}})
+	if _, err := m.AddStream(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddStream(s1); err != nil {
+		t.Fatal(err)
+	}
+	exact := m.ExactPairs()
+	if len(exact) != 1 || exact[0] != (Pair{Stream: 0, Query: 0}) {
+		t.Fatalf("ExactPairs = %v", exact)
+	}
+	if missed := m.VerifyNoFalseNegatives(); len(missed) != 0 {
+		t.Fatalf("passthrough cannot miss pairs: %v", missed)
+	}
+	fps := m.FalsePositives()
+	if len(fps) != 1 || fps[0] != (Pair{Stream: 1, Query: 0}) {
+		t.Fatalf("FalsePositives = %v", fps)
+	}
+}
+
+func TestMonitorUnknownStream(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{7: nil}); err == nil {
+		t.Fatal("unknown stream should error")
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	ps := []Pair{{2, 1}, {1, 2}, {1, 1}, {2, 0}}
+	SortPairs(ps)
+	want := []Pair{{1, 1}, {1, 2}, {2, 0}, {2, 1}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("SortPairs = %v", ps)
+		}
+	}
+	if (Pair{Stream: 3, Query: 4}).String() != "(G3,Q4)" {
+		t.Fatal("Pair.String format changed")
+	}
+}
+
+func TestStatsZeroDivision(t *testing.T) {
+	var s Stats
+	if s.AvgTimePerTimestamp() != 0 || s.CandidateRatio() != 0 {
+		t.Fatal("zero stats should not divide by zero")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+)
+
+// FilterFactory builds one filter instance per shard.
+type FilterFactory func() Filter
+
+// ShardedMonitor runs continuous subgraph search across multiple CPU cores:
+// streams are partitioned over independent filter instances (filters keep
+// per-stream state, so sharding by stream is exact — every shard sees all
+// queries and produces the candidates of its own streams), and one global
+// timestamp fans the per-stream change sets out to the shards in parallel.
+//
+// The candidate set of a ShardedMonitor is identical to a single Monitor
+// over the same filter type; only wall-clock time differs.
+type ShardedMonitor struct {
+	filters  []Filter
+	shardOf  map[StreamID]int
+	queries  map[QueryID]*graph.Graph
+	matchers map[QueryID]*iso.Matcher
+	streams  map[StreamID]*graph.Graph
+	nextQ    QueryID
+	nextS    StreamID
+	sealed   bool
+	stats    Stats
+}
+
+// NewShardedMonitor creates shards filter instances (0 uses GOMAXPROCS).
+func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	m := &ShardedMonitor{
+		shardOf:  make(map[StreamID]int),
+		queries:  make(map[QueryID]*graph.Graph),
+		matchers: make(map[QueryID]*iso.Matcher),
+		streams:  make(map[StreamID]*graph.Graph),
+	}
+	for i := 0; i < shards; i++ {
+		m.filters = append(m.filters, factory())
+	}
+	return m
+}
+
+// Shards reports the number of filter instances.
+func (m *ShardedMonitor) Shards() int { return len(m.filters) }
+
+// AddQuery registers a pattern with every shard. As with Monitor, queries
+// after the first stream require the filters to be DynamicFilters.
+func (m *ShardedMonitor) AddQuery(q *graph.Graph) (QueryID, error) {
+	if m.sealed {
+		if _, ok := m.filters[0].(DynamicFilter); !ok {
+			return 0, fmt.Errorf("core: filter %s requires all queries before streams", m.filters[0].Name())
+		}
+	}
+	id := m.nextQ
+	m.nextQ++
+	for _, f := range m.filters {
+		if err := f.AddQuery(id, q); err != nil {
+			return 0, err
+		}
+	}
+	m.queries[id] = q.Clone()
+	m.matchers[id] = iso.NewMatcher(m.queries[id])
+	return id, nil
+}
+
+// RemoveQuery deregisters a pattern from every shard (DynamicFilter only).
+func (m *ShardedMonitor) RemoveQuery(id QueryID) error {
+	if _, ok := m.queries[id]; !ok {
+		return fmt.Errorf("core: unknown query %d", id)
+	}
+	for _, f := range m.filters {
+		df, ok := f.(DynamicFilter)
+		if !ok {
+			return fmt.Errorf("core: filter %s does not support query removal", f.Name())
+		}
+		if err := df.RemoveQuery(id); err != nil {
+			return err
+		}
+	}
+	delete(m.queries, id)
+	delete(m.matchers, id)
+	return nil
+}
+
+// AddStream registers a stream on the least-loaded shard.
+func (m *ShardedMonitor) AddStream(g0 *graph.Graph) (StreamID, error) {
+	m.sealed = true
+	id := m.nextS
+	m.nextS++
+	shard := int(id) % len(m.filters)
+	if err := m.filters[shard].AddStream(id, g0); err != nil {
+		return 0, err
+	}
+	m.shardOf[id] = shard
+	m.streams[id] = g0.Clone()
+	return id, nil
+}
+
+// StepAll advances one global timestamp, applying each stream's change set
+// on its shard; shards run concurrently.
+func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	perShard := make([]map[StreamID]graph.ChangeSet, len(m.filters))
+	for id, cs := range changes {
+		shard, ok := m.shardOf[id]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown stream %d", id)
+		}
+		if perShard[shard] == nil {
+			perShard[shard] = make(map[StreamID]graph.ChangeSet)
+		}
+		perShard[shard][id] = cs.Normalize()
+	}
+
+	start := time.Now()
+	errs := make([]error, len(m.filters))
+	var wg sync.WaitGroup
+	for i, f := range m.filters {
+		if perShard[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f Filter) {
+			defer wg.Done()
+			for id, cs := range perShard[i] {
+				if err := f.Apply(id, cs); err != nil {
+					errs[i] = fmt.Errorf("core: shard %d stream %d: %w", i, id, err)
+					return
+				}
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cands, err := m.collect()
+	m.stats.FilterTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	// Maintain the canonical graphs (outside the timed section, matching
+	// Monitor's accounting of filter time only).
+	for id, cs := range changes {
+		if err := cs.Normalize().Apply(m.streams[id]); err != nil {
+			return nil, fmt.Errorf("core: canonical graph of stream %d: %w", id, err)
+		}
+	}
+	m.stats.Timestamps++
+	m.stats.CandidatePairs += int64(len(cands))
+	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
+	return cands, nil
+}
+
+// collect merges the shards' candidate sets concurrently.
+func (m *ShardedMonitor) collect() ([]Pair, error) {
+	parts := make([][]Pair, len(m.filters))
+	var wg sync.WaitGroup
+	for i, f := range m.filters {
+		wg.Add(1)
+		go func(i int, f Filter) {
+			defer wg.Done()
+			parts[i] = f.Candidates()
+		}(i, f)
+	}
+	wg.Wait()
+	var out []Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return SortPairs(out), nil
+}
+
+// Candidates returns the current merged candidate set.
+func (m *ShardedMonitor) Candidates() []Pair {
+	out, _ := m.collect()
+	return out
+}
+
+// ExactPairs computes ground truth over the canonical graphs.
+func (m *ShardedMonitor) ExactPairs() []Pair {
+	var out []Pair
+	for sid, g := range m.streams {
+		for qid, matcher := range m.matchers {
+			if matcher.Contains(g) {
+				out = append(out, Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return SortPairs(out)
+}
+
+// VerifyNoFalseNegatives returns any exact pairs missing from the merged
+// candidate set.
+func (m *ShardedMonitor) VerifyNoFalseNegatives() []Pair {
+	cands := make(map[Pair]bool)
+	for _, p := range m.Candidates() {
+		cands[p] = true
+	}
+	var missed []Pair
+	for _, p := range m.ExactPairs() {
+		if !cands[p] {
+			missed = append(missed, p)
+		}
+	}
+	return missed
+}
+
+// Stats returns accumulated statistics.
+func (m *ShardedMonitor) Stats() Stats { return m.stats }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+// countingFilter is a passthrough that records Apply calls, used to verify
+// fan-out.
+type countingFilter struct {
+	passthrough
+	applies int64
+}
+
+func (c *countingFilter) Apply(id StreamID, cs graph.ChangeSet) error {
+	atomic.AddInt64(&c.applies, 1)
+	return c.passthrough.Apply(id, cs)
+}
+
+func TestShardedMonitorMatchesSingle(t *testing.T) {
+	mkGraph := func(n int) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			_ = g.AddVertex(graph.VertexID(i), graph.Label(i%3))
+		}
+		for i := 0; i+1 < n; i++ {
+			_ = g.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 0)
+		}
+		return g
+	}
+
+	sharded := NewShardedMonitor(func() Filter { return &passthrough{} }, 3)
+	single := NewMonitor(&passthrough{})
+	if sharded.Shards() != 3 {
+		t.Fatalf("Shards = %d", sharded.Shards())
+	}
+
+	q := mkGraph(2)
+	if _, err := sharded.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		g := mkGraph(3 + i)
+		if _, err := sharded.AddStream(g); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.AddStream(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs := map[StreamID]graph.ChangeSet{
+		0: {graph.InsertOp(100, 0, 101, 1, 0)},
+		3: {graph.DeleteOp(0, 1)},
+		6: {graph.InsertOp(100, 0, 101, 1, 0)},
+	}
+	gotS, err := sharded.StepAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := single.StepAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotS, gotM) {
+		t.Fatalf("sharded %v != single %v", gotS, gotM)
+	}
+	if !reflect.DeepEqual(sharded.Candidates(), single.Candidates()) {
+		t.Fatal("candidate sets diverge")
+	}
+	// Canonical graphs advanced identically.
+	for sid := range cs {
+		if !sharded.streams[sid].Equal(single.StreamGraph(sid)) {
+			t.Fatalf("canonical graph of stream %d diverges", sid)
+		}
+	}
+	st := sharded.Stats()
+	if st.Timestamps != 1 || st.TotalPairs != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if missed := sharded.VerifyNoFalseNegatives(); len(missed) != 0 {
+		t.Fatalf("passthrough missed %v", missed)
+	}
+}
+
+func TestShardedMonitorErrors(t *testing.T) {
+	m := NewShardedMonitor(func() Filter { return &passthrough{} }, 2)
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{9: nil}); err == nil {
+		t.Fatal("unknown stream should error")
+	}
+	g := graph.New()
+	_ = g.AddVertex(0, 0)
+	if _, err := m.AddStream(g); err != nil {
+		t.Fatal(err)
+	}
+	// passthrough is not dynamic: post-stream queries and removal fail.
+	if _, err := m.AddQuery(g); err == nil {
+		t.Fatal("post-stream query on non-dynamic filter should fail")
+	}
+	if err := m.RemoveQuery(0); err == nil {
+		t.Fatal("RemoveQuery on unknown id should fail")
+	}
+}
+
+func TestShardedMonitorDefaultsToGOMAXPROCS(t *testing.T) {
+	m := NewShardedMonitor(func() Filter { return &passthrough{} }, 0)
+	if m.Shards() < 1 {
+		t.Fatalf("Shards = %d", m.Shards())
+	}
+}
+
+func TestShardedMonitorFansOutApplies(t *testing.T) {
+	var filters []*countingFilter
+	m := NewShardedMonitor(func() Filter {
+		f := &countingFilter{}
+		filters = append(filters, f)
+		return f
+	}, 2)
+	g := graph.New()
+	_ = g.AddVertex(0, 0)
+	_ = g.AddVertex(1, 0)
+	_ = g.AddEdge(0, 1, 0)
+	for i := 0; i < 4; i++ {
+		if _, err := m.AddStream(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := map[StreamID]graph.ChangeSet{0: nil, 1: nil, 2: nil, 3: nil}
+	if _, err := m.StepAll(cs); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, f := range filters {
+		total += atomic.LoadInt64(&f.applies)
+		if f.applies != 2 {
+			t.Fatalf("shard applied %d streams; want 2 each", f.applies)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("total applies = %d", total)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+)
+
+// Snapshot persistence: a Monitor's logical state is its query set plus the
+// canonical current graph of every stream (filters are deterministic
+// functions of that state, so any filter can be rebuilt from it). A
+// restarted service writes a snapshot on shutdown, restores it on boot, and
+// resumes consuming change sets.
+
+type snapshotGraph struct {
+	Vertices []snapshotVertex `json:"vertices"`
+	Edges    []snapshotEdge   `json:"edges"`
+}
+
+type snapshotVertex struct {
+	ID    int32  `json:"id"`
+	Label uint16 `json:"label"`
+}
+
+type snapshotEdge struct {
+	U     int32  `json:"u"`
+	V     int32  `json:"v"`
+	Label uint16 `json:"label"`
+}
+
+type snapshotEntry struct {
+	ID    int           `json:"id"`
+	Graph snapshotGraph `json:"graph"`
+}
+
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Queries []snapshotEntry `json:"queries"`
+	Streams []snapshotEntry `json:"streams"`
+}
+
+const snapshotVersion = 1
+
+func encodeGraph(g *graph.Graph) snapshotGraph {
+	var out snapshotGraph
+	for _, v := range g.VertexIDs() {
+		out.Vertices = append(out.Vertices, snapshotVertex{ID: int32(v), Label: uint16(g.MustVertexLabel(v))})
+	}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, snapshotEdge{U: int32(e.U), V: int32(e.V), Label: uint16(e.Label)})
+	}
+	return out
+}
+
+func decodeGraph(sg snapshotGraph) (*graph.Graph, error) {
+	g := graph.New()
+	for _, v := range sg.Vertices {
+		if err := g.AddVertex(graph.VertexID(v.ID), graph.Label(v.Label)); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range sg.Edges {
+		if err := g.AddEdge(graph.VertexID(e.U), graph.VertexID(e.V), graph.Label(e.Label)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteSnapshot serializes the monitor's queries and canonical stream
+// graphs as JSON. Filter-internal state is not persisted; RestoreMonitor
+// rebuilds it deterministically.
+func (m *Monitor) WriteSnapshot(w io.Writer) error {
+	file := snapshotFile{Version: snapshotVersion}
+	qids := make([]int, 0, len(m.queries))
+	for id := range m.queries {
+		qids = append(qids, int(id))
+	}
+	sort.Ints(qids)
+	for _, id := range qids {
+		file.Queries = append(file.Queries, snapshotEntry{
+			ID: id, Graph: encodeGraph(m.queries[QueryID(id)]),
+		})
+	}
+	sids := make([]int, 0, len(m.streams))
+	for id := range m.streams {
+		sids = append(sids, int(id))
+	}
+	sort.Ints(sids)
+	for _, id := range sids {
+		file.Streams = append(file.Streams, snapshotEntry{
+			ID: id, Graph: encodeGraph(m.streams[StreamID(id)]),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// RestoreMonitor rebuilds a monitor around a fresh filter from a snapshot,
+// preserving the original query and stream IDs (including gaps left by
+// removed queries).
+func RestoreMonitor(r io.Reader, f Filter) (*Monitor, error) {
+	var file snapshotFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if file.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", file.Version)
+	}
+	m := NewMonitor(f)
+	for _, entry := range file.Queries {
+		g, err := decodeGraph(entry.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
+		}
+		id := QueryID(entry.ID)
+		if _, dup := m.queries[id]; dup {
+			return nil, fmt.Errorf("core: snapshot has duplicate query id %d", entry.ID)
+		}
+		if err := f.AddQuery(id, g); err != nil {
+			return nil, fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
+		}
+		m.queries[id] = g
+		m.matchers[id] = iso.NewMatcher(g)
+		if id >= m.nextQ {
+			m.nextQ = id + 1
+		}
+	}
+	for _, entry := range file.Streams {
+		g, err := decodeGraph(entry.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
+		}
+		id := StreamID(entry.ID)
+		if _, dup := m.streams[id]; dup {
+			return nil, fmt.Errorf("core: snapshot has duplicate stream id %d", entry.ID)
+		}
+		if err := f.AddStream(id, g); err != nil {
+			return nil, fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
+		}
+		m.streams[id] = g
+		if id >= m.nextS {
+			m.nextS = id + 1
+		}
+		m.sealed = true
+	}
+	return m, nil
+}

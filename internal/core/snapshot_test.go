@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	q1 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	q2 := buildGraph(t, map[graph.VertexID]graph.Label{0: 2, 1: 3}, [][3]int{{0, 1, 5}})
+	if _, err := m.AddQuery(q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddQuery(q2); err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, map[graph.VertexID]graph.Label{5: 0, 6: 1, 7: 2},
+		[][3]int{{5, 6, 0}, {6, 7, 1}})
+	sid, err := m.AddStream(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the stream so the canonical graph differs from g0.
+	if _, err := m.Step(sid, graph.ChangeSet{graph.DeleteOp(6, 7)}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreMonitor(bytes.NewReader(buf.Bytes()), &passthrough{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.QueryCount() != 2 || restored.StreamCount() != 1 {
+		t.Fatalf("restored counts: %d queries, %d streams", restored.QueryCount(), restored.StreamCount())
+	}
+	if !restored.StreamGraph(sid).Equal(m.StreamGraph(sid)) {
+		t.Fatal("restored stream graph differs")
+	}
+	if !restored.Query(0).Equal(q1) || !restored.Query(1).Equal(q2) {
+		t.Fatal("restored queries differ")
+	}
+	// Candidate sets of the rebuilt filter match.
+	if !reflect.DeepEqual(m.Candidates(), restored.Candidates()) {
+		t.Fatal("restored candidates differ")
+	}
+	// Restored monitor keeps streaming from where it left off.
+	if _, err := restored.Step(sid, graph.ChangeSet{graph.InsertOp(5, 0, 9, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// ID allocation resumes past the restored IDs.
+	q3 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0}, nil)
+	_ = q3
+	sid2, err := restored.AddStream(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid2 != sid+1 {
+		t.Fatalf("restored stream id allocation: got %d; want %d", sid2, sid+1)
+	}
+}
+
+func TestSnapshotPreservesIDGaps(t *testing.T) {
+	// Removed queries leave ID gaps that must survive a snapshot cycle so
+	// external references stay valid.
+	m := NewMonitor(&dynamicPassthrough{})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0}, nil)
+	id0, _ := m.AddQuery(q)
+	id1, _ := m.AddQuery(q)
+	id2, _ := m.AddQuery(q)
+	if err := m.RemoveQuery(id1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreMonitor(&buf, &dynamicPassthrough{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Query(id0) == nil || restored.Query(id2) == nil {
+		t.Fatal("surviving queries missing")
+	}
+	if restored.Query(id1) != nil {
+		t.Fatal("removed query resurrected")
+	}
+	// New IDs continue after the highest restored ID.
+	id3, err := restored.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id2+1 {
+		t.Fatalf("id allocation after restore: got %d; want %d", id3, id2+1)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 99}`,
+		`{"version": 1, "queries": [{"id": 0, "graph": {"edges": [{"u":0,"v":1}]}}]}`, // edge without vertices
+		`{"version": 1, "queries": [{"id": 0, "graph": {}}, {"id": 0, "graph": {}}]}`, // duplicate id
+	}
+	for i, c := range cases {
+		if _, err := RestoreMonitor(strings.NewReader(c), &passthrough{}); err == nil {
+			t.Fatalf("case %d: bad snapshot accepted", i)
+		}
+	}
+}
+
+// dynamicPassthrough extends passthrough with query removal.
+type dynamicPassthrough struct {
+	passthrough
+	removed map[QueryID]bool
+}
+
+func (d *dynamicPassthrough) RemoveQuery(id QueryID) error {
+	if d.removed == nil {
+		d.removed = make(map[QueryID]bool)
+	}
+	d.removed[id] = true
+	for i, q := range d.queries {
+		if q == id {
+			d.queries = append(d.queries[:i], d.queries[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"nntstream/internal/graph"
+)
+
+// ProximityConfig drives the Reality-Mining-like generator standing in for
+// the MIT Device Span dataset: a fixed population of devices (97 in the
+// paper) carrying one of a few device/role labels (10 in the paper), split
+// into social groups across two labs. Per timestamp, group members are
+// co-located with high probability and cross-group contacts are rare;
+// existing contacts persist preferentially, which produces the strong
+// temporal locality real proximity data exhibits.
+type ProximityConfig struct {
+	Devices     int
+	Labels      int
+	Groups      int
+	Timestamps  int
+	InGroupProb float64 // chance an in-group contact forms this step
+	CrossProb   float64 // chance a cross-group contact forms this step
+	PersistProb float64 // chance an existing contact persists this step
+}
+
+// ProximityDefaults matches the paper's setup: 97 devices, 10 labels, data
+// for 1000 timestamps.
+func ProximityDefaults() ProximityConfig {
+	return ProximityConfig{
+		Devices:     97,
+		Labels:      10,
+		Groups:      8,
+		Timestamps:  1000,
+		InGroupProb: 0.07,
+		CrossProb:   0.002,
+		PersistProb: 0.80,
+	}
+}
+
+// Proximity generates one canonical proximity snapshot series.
+func Proximity(cfg ProximityConfig, r *rand.Rand) []*graph.Graph {
+	labels := make([]graph.Label, cfg.Devices)
+	group := make([]int, cfg.Devices)
+	for d := 0; d < cfg.Devices; d++ {
+		labels[d] = graph.Label(r.Intn(cfg.Labels))
+		group[d] = r.Intn(cfg.Groups)
+	}
+
+	type pair struct{ a, b int }
+	contacts := make(map[pair]bool)
+	snap := func() *graph.Graph {
+		g := graph.New()
+		for p := range contacts {
+			_ = g.AddVertex(graph.VertexID(p.a), labels[p.a])
+			_ = g.AddVertex(graph.VertexID(p.b), labels[p.b])
+			_ = g.AddEdge(graph.VertexID(p.a), graph.VertexID(p.b), 0)
+		}
+		return g
+	}
+
+	var out []*graph.Graph
+	for t := 0; t < cfg.Timestamps; t++ {
+		// One pass over all pairs in a fixed order keeps the generator
+		// deterministic for a given seed.
+		next := make(map[pair]bool, len(contacts))
+		for a := 0; a < cfg.Devices; a++ {
+			for b := a + 1; b < cfg.Devices; b++ {
+				p := pair{a, b}
+				if contacts[p] {
+					if r.Float64() < cfg.PersistProb {
+						next[p] = true
+					}
+					continue
+				}
+				prob := cfg.CrossProb
+				if group[a] == group[b] {
+					prob = cfg.InGroupProb
+				}
+				if r.Float64() < prob {
+					next[p] = true
+				}
+			}
+		}
+		contacts = next
+		out = append(out, snap())
+	}
+	return out
+}
+
+// ProximityStreams derives numStreams streams from one canonical series by
+// random rotation — the paper "randomly reorders the original graph series
+// to derive new graph streams"; rotation keeps the per-step locality that
+// makes the incremental maintenance meaningful while giving each stream a
+// distinct trajectory.
+func ProximityStreams(cfg ProximityConfig, numStreams int, r *rand.Rand) []*graph.Stream {
+	series := Proximity(cfg, r)
+	streams := make([]*graph.Stream, 0, numStreams)
+	for s := 0; s < numStreams; s++ {
+		offset := r.Intn(len(series))
+		rotated := make([]*graph.Graph, 0, len(series))
+		rotated = append(rotated, series[offset:]...)
+		rotated = append(rotated, series[:offset]...)
+		st, err := graph.StreamFromSnapshots(rotated)
+		if err != nil {
+			// The series is generator-produced; a diff failure is a bug.
+			panic(err)
+		}
+		streams = append(streams, st)
+	}
+	return streams
+}
+
+// ProximityQueries extracts query patterns from random snapshots of the
+// canonical series: connected subgraphs with edge counts in [minEdges,
+// maxEdges]. Snapshots with too few edges are skipped.
+func ProximityQueries(series []*graph.Graph, num, minEdges, maxEdges int, r *rand.Rand) []*graph.Graph {
+	var out []*graph.Graph
+	for len(out) < num {
+		g := series[r.Intn(len(series))]
+		if g.EdgeCount() < minEdges {
+			continue
+		}
+		want := minEdges + r.Intn(maxEdges-minEdges+1)
+		q := RandomConnectedSubgraph(g, want, r)
+		if q.EdgeCount() >= 1 {
+			out = append(out, q)
+		}
+	}
+	return out
+}

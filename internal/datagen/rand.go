@@ -1,0 +1,46 @@
+// Package datagen generates the workloads of the paper's evaluation:
+//
+//   - Synthetic graph databases in the style of the Kuramochi–Karypis
+//     generator [12] (seed fragments inserted into graphs), used for the
+//     static synthetic experiments and as the basis of the synthetic
+//     streams.
+//   - An AIDS-like chemical compound generator standing in for the real
+//     AIDS Antiviral Screen dataset (unavailable offline), matched to the
+//     paper's sample statistics.
+//   - A Reality-Mining-like Bluetooth proximity stream generator standing
+//     in for the MIT Device Span dataset.
+//   - The paper's coin-flip stream mutator (edge appear/disappear
+//     probabilities p1/p2 over a derived template graph).
+//   - Random connected-subgraph query extraction (the paper's Q_m query
+//     sets).
+//
+// Every generator takes an explicit *rand.Rand so workloads are exactly
+// reproducible.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson samples a Poisson variate with the given mean via Knuth's method,
+// adequate for the small means the generators use.
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	const maxMean = 500 // e^-500 underflows; generators never get close
+	if mean > maxMean {
+		mean = maxMean
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"nntstream/internal/graph"
+)
+
+// FlipConfig is the paper's synthetic stream mutator: every potential edge
+// of a template graph flips a biased coin per timestamp — absent edges
+// appear with probability AppearProb (p1), present edges disappear with
+// DisappearProb (p2). The paper's settings: dense streams p1=20%, p2=15%;
+// sparse streams p1=10%, p2=30%.
+type FlipConfig struct {
+	AppearProb    float64 // p1
+	DisappearProb float64 // p2
+	Timestamps    int
+}
+
+// DenseFlipDefaults are the paper's dense synthetic stream parameters.
+func DenseFlipDefaults() FlipConfig {
+	return FlipConfig{AppearProb: 0.20, DisappearProb: 0.15, Timestamps: 1000}
+}
+
+// SparseFlipDefaults are the paper's sparse synthetic stream parameters.
+func SparseFlipDefaults() FlipConfig {
+	return FlipConfig{AppearProb: 0.10, DisappearProb: 0.30, Timestamps: 1000}
+}
+
+// TemplateConfig controls the stream-template construction around a basic
+// query graph. The template's edge set is the potential-edge universe the
+// coin flips act on, so its size (relative to the query) together with the
+// flip equilibrium p1/(p1+p2) sets how often query neighborhoods are
+// dominated by stream neighborhoods — the knob that positions the dense and
+// sparse regimes around the query density the way the paper's candidate
+// ratios imply.
+type TemplateConfig struct {
+	// GrowthFactor multiplies the vertex count (the paper: 1.5).
+	GrowthFactor float64
+	// MinWires/MaxWires bound the random edges attaching each added
+	// vertex.
+	MinWires, MaxWires int
+	// ExtraEdgeFrac adds this fraction of the query's edge count as extra
+	// random potential edges between template vertices.
+	ExtraEdgeFrac float64
+}
+
+// TemplateDefaults grows vertices by 1.5× per the paper and sizes the
+// potential-edge universe so the dense flip equilibrium (~57%) lands
+// slightly above the query's own density and the sparse one (~25%) well
+// below it.
+func TemplateDefaults() TemplateConfig {
+	return TemplateConfig{GrowthFactor: 1.5, MinWires: 1, MaxWires: 3, ExtraEdgeFrac: 6.5}
+}
+
+// DeriveTemplate implements the paper's stream-template construction: the
+// basic (query) graph is grown to GrowthFactor times its vertex count by
+// adding randomly labeled vertices wired with random edges, then extra
+// random potential edges are sprinkled between template vertices.
+func DeriveTemplate(q *graph.Graph, cfg TemplateConfig, vlabels, elabels int, r *rand.Rand) *graph.Graph {
+	t := q.Clone()
+	ids := t.VertexIDs()
+	if len(ids) == 0 {
+		return t
+	}
+	next := ids[len(ids)-1] + 1
+	extra := int(float64(len(ids))*cfg.GrowthFactor) - len(ids)
+	for i := 0; i < extra; i++ {
+		v := next
+		next++
+		_ = t.AddVertex(v, graph.Label(r.Intn(vlabels)))
+		wires := cfg.MinWires
+		if cfg.MaxWires > cfg.MinWires {
+			wires += r.Intn(cfg.MaxWires - cfg.MinWires + 1)
+		}
+		for w := 0; w < wires; w++ {
+			u := ids[r.Intn(len(ids))]
+			_ = t.AddEdge(v, u, graph.Label(r.Intn(elabels)))
+		}
+		ids = append(ids, v)
+	}
+	want := t.EdgeCount() + int(cfg.ExtraEdgeFrac*float64(q.EdgeCount()))
+	for attempts := 0; t.EdgeCount() < want && attempts < 50*want; attempts++ {
+		u := ids[r.Intn(len(ids))]
+		v := ids[r.Intn(len(ids))]
+		if u != v && !t.HasEdge(u, v) {
+			_ = t.AddEdge(u, v, graph.Label(r.Intn(elabels)))
+		}
+	}
+	return t
+}
+
+// FlipStream runs the coin-flip process over the template's edges and
+// returns the recorded stream. G_0 draws each potential edge with the
+// stationary probability p1/(p1+p2), so the stream starts in equilibrium.
+func FlipStream(template *graph.Graph, cfg FlipConfig, r *rand.Rand) *graph.Stream {
+	potential := template.Edges()
+	present := make([]bool, len(potential))
+	stationary := cfg.AppearProb / (cfg.AppearProb + cfg.DisappearProb)
+
+	start := graph.New()
+	addEdge := func(g *graph.Graph, e graph.Edge) {
+		_ = g.AddVertex(e.U, template.MustVertexLabel(e.U))
+		_ = g.AddVertex(e.V, template.MustVertexLabel(e.V))
+		_ = g.AddEdge(e.U, e.V, e.Label)
+	}
+	for i, e := range potential {
+		if r.Float64() < stationary {
+			present[i] = true
+			addEdge(start, e)
+		}
+	}
+
+	s := &graph.Stream{Start: start}
+	for t := 0; t < cfg.Timestamps; t++ {
+		var cs graph.ChangeSet
+		for i, e := range potential {
+			if present[i] {
+				if r.Float64() < cfg.DisappearProb {
+					present[i] = false
+					cs = append(cs, graph.DeleteOp(e.U, e.V))
+				}
+			} else if r.Float64() < cfg.AppearProb {
+				present[i] = true
+				cs = append(cs, graph.InsertOp(
+					e.U, template.MustVertexLabel(e.U),
+					e.V, template.MustVertexLabel(e.V),
+					e.Label))
+			}
+		}
+		s.Changes = append(s.Changes, cs.Normalize())
+	}
+	return s
+}
+
+// StreamWorkloadConfig assembles the full synthetic stream experiment
+// input.
+type StreamWorkloadConfig struct {
+	Gen      SyntheticConfig
+	Flip     FlipConfig
+	Template TemplateConfig
+	// QueryMinEdges/QueryMaxEdges bound the monitored patterns extracted
+	// from each basic graph. The paper monitors the basic graphs
+	// themselves; with its underspecified generator that construction
+	// degenerates (every filter reports ≈0% or ≈100% — see
+	// EXPERIMENTS.md), so patterns of the static experiments' sizes are
+	// extracted instead, which restores the paper's reported dynamic
+	// range.
+	QueryMinEdges, QueryMaxEdges int
+}
+
+// DefaultStreamWorkload is the calibrated reproduction of the paper's
+// synthetic stream setup for a given flip regime.
+func DefaultStreamWorkload(flip FlipConfig) StreamWorkloadConfig {
+	return StreamWorkloadConfig{
+		Gen:           StreamSyntheticDefaults(),
+		Flip:          flip,
+		Template:      TemplateDefaults(),
+		QueryMinEdges: 8,
+		QueryMaxEdges: 12,
+	}
+}
+
+// SyntheticStreamWorkload is the generated experiment input: the basic
+// graphs, the monitored query patterns extracted from them, and one stream
+// per basic graph derived from its grown template under the flip process.
+type SyntheticStreamWorkload struct {
+	Basics  []*graph.Graph
+	Queries []*graph.Graph
+	Streams []*graph.Stream
+}
+
+// SyntheticStreams generates the workload (the paper: D=70 basic graphs
+// with L=20, I=10, T=40, V=4, E=1).
+func SyntheticStreams(cfg StreamWorkloadConfig, r *rand.Rand) SyntheticStreamWorkload {
+	basics := Synthetic(cfg.Gen, r)
+	w := SyntheticStreamWorkload{Basics: basics}
+	for _, b := range basics {
+		template := DeriveTemplate(b, cfg.Template, cfg.Gen.VertexLabels, cfg.Gen.EdgeLabels, r)
+		w.Streams = append(w.Streams, FlipStream(template, cfg.Flip, r))
+		span := cfg.QueryMaxEdges - cfg.QueryMinEdges
+		want := cfg.QueryMinEdges
+		if span > 0 {
+			want += r.Intn(span + 1)
+		}
+		w.Queries = append(w.Queries, RandomConnectedSubgraph(b, want, r))
+	}
+	return w
+}

@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"nntstream/internal/graph"
+)
+
+// SyntheticConfig mirrors the parameters of the Kuramochi–Karypis generator
+// as the paper reports them: D graphs are assembled by repeatedly inserting
+// randomly chosen seed fragments until each graph reaches its target size.
+// Sizes count edges; seed and graph sizes are Poisson with means I and T.
+type SyntheticConfig struct {
+	NumGraphs    int     // D: number of graphs to generate
+	NumSeeds     int     // L: number of seed fragments (potential frequent patterns)
+	SeedSize     float64 // I: mean seed fragment size (edges)
+	GraphSize    float64 // T: mean graph size (edges)
+	VertexLabels int     // V: number of distinct vertex labels
+	EdgeLabels   int     // E: number of distinct edge labels
+	// OverlapProb is the chance an inserted seed vertex is glued onto an
+	// existing same-label graph vertex rather than added fresh, which is
+	// how fragments come to share structure.
+	OverlapProb float64
+}
+
+// StaticSyntheticDefaults reproduces the paper's static synthetic database:
+// D=10000, L=200, I=10, T=50, V=4, E=1.
+func StaticSyntheticDefaults() SyntheticConfig {
+	return SyntheticConfig{
+		NumGraphs:    10000,
+		NumSeeds:     200,
+		SeedSize:     10,
+		GraphSize:    50,
+		VertexLabels: 4,
+		EdgeLabels:   1,
+		OverlapProb:  0.3,
+	}
+}
+
+// StreamSyntheticDefaults reproduces the paper's synthetic stream basis:
+// D=70, L=20, I=10, T=40, V=4, E=1.
+func StreamSyntheticDefaults() SyntheticConfig {
+	return SyntheticConfig{
+		NumGraphs:    70,
+		NumSeeds:     20,
+		SeedSize:     10,
+		GraphSize:    40,
+		VertexLabels: 4,
+		EdgeLabels:   1,
+		OverlapProb:  0.3,
+	}
+}
+
+// Synthetic generates the database.
+func Synthetic(cfg SyntheticConfig, r *rand.Rand) []*graph.Graph {
+	seeds := make([]*graph.Graph, cfg.NumSeeds)
+	for i := range seeds {
+		size := poisson(r, cfg.SeedSize)
+		if size < 1 {
+			size = 1
+		}
+		seeds[i] = randomConnectedBySize(r, size, cfg.VertexLabels, cfg.EdgeLabels)
+	}
+	out := make([]*graph.Graph, cfg.NumGraphs)
+	for i := range out {
+		target := poisson(r, cfg.GraphSize)
+		if target < 1 {
+			target = 1
+		}
+		out[i] = assemble(r, seeds, target, cfg)
+	}
+	return out
+}
+
+// randomConnectedBySize grows a connected graph with exactly `edges` edges:
+// each step either attaches a new vertex or closes a cycle between existing
+// vertices.
+func randomConnectedBySize(r *rand.Rand, edges, vlabels, elabels int) *graph.Graph {
+	g := graph.New()
+	_ = g.AddVertex(0, graph.Label(r.Intn(vlabels)))
+	next := graph.VertexID(1)
+	ids := []graph.VertexID{0}
+	for g.EdgeCount() < edges {
+		if r.Float64() < 0.7 || len(ids) < 3 {
+			// Attach a new vertex.
+			u := ids[r.Intn(len(ids))]
+			v := next
+			next++
+			_ = g.AddVertex(v, graph.Label(r.Intn(vlabels)))
+			_ = g.AddEdge(u, v, graph.Label(r.Intn(elabels)))
+			ids = append(ids, v)
+		} else {
+			// Close a cycle.
+			u := ids[r.Intn(len(ids))]
+			v := ids[r.Intn(len(ids))]
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v, graph.Label(r.Intn(elabels)))
+			}
+		}
+	}
+	return g
+}
+
+// assemble builds one database graph by inserting seeds until the edge
+// target is reached, then wiring any disconnected components together.
+func assemble(r *rand.Rand, seeds []*graph.Graph, target int, cfg SyntheticConfig) *graph.Graph {
+	g := graph.New()
+	next := graph.VertexID(0)
+	// byLabel tracks existing vertices per label for overlap gluing.
+	byLabel := make(map[graph.Label][]graph.VertexID)
+
+	addVertex := func(l graph.Label) graph.VertexID {
+		v := next
+		next++
+		_ = g.AddVertex(v, l)
+		byLabel[l] = append(byLabel[l], v)
+		return v
+	}
+
+	for g.EdgeCount() < target {
+		seed := seeds[r.Intn(len(seeds))]
+		// Map seed vertices into g, in ID order for determinism.
+		mapping := make(map[graph.VertexID]graph.VertexID, seed.VertexCount())
+		for _, sv := range seed.VertexIDs() {
+			l := seed.MustVertexLabel(sv)
+			if cand := byLabel[l]; len(cand) > 0 && r.Float64() < cfg.OverlapProb {
+				mapping[sv] = cand[r.Intn(len(cand))]
+			} else {
+				mapping[sv] = addVertex(l)
+			}
+		}
+		for _, e := range seed.Edges() {
+			u, v := mapping[e.U], mapping[e.V]
+			if u == v || g.HasEdge(u, v) {
+				continue // gluing collapsed this edge; keep the original
+			}
+			_ = g.AddEdge(u, v, e.Label)
+		}
+	}
+	connect(r, g, cfg.EdgeLabels)
+	return g
+}
+
+// connect wires the connected components of g together with random bridge
+// edges so the result satisfies the paper's connectedness assumption.
+func connect(r *rand.Rand, g *graph.Graph, elabels int) {
+	comps := g.ConnectedComponents()
+	for i := 1; i < len(comps); i++ {
+		u := comps[0][r.Intn(len(comps[0]))]
+		v := comps[i][r.Intn(len(comps[i]))]
+		_ = g.AddEdge(u, v, graph.Label(r.Intn(elabels)))
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for CI while still exercising
+// every code path of a runner.
+func tiny() Config { return Config{Seed: 1, Scale: 0.004} }
+
+func checkResult(t *testing.T, res *Result, wantCols int) {
+	t.Helper()
+	if res.Name == "" || res.Caption == "" {
+		t.Fatal("result missing name/caption")
+	}
+	if len(res.Header) != wantCols {
+		t.Fatalf("header has %d columns; want %d", len(res.Header), wantCols)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("result has no rows")
+	}
+	for i, row := range res.Rows {
+		if len(row) != wantCols {
+			t.Fatalf("row %d has %d cells; want %d", i, len(row), wantCols)
+		}
+		for j, cell := range row {
+			if cell == "" {
+				t.Fatalf("row %d cell %d empty", i, j)
+			}
+		}
+	}
+	var b strings.Builder
+	res.Fprint(&b)
+	out := b.String()
+	if !strings.Contains(out, res.Name) || !strings.Contains(out, res.Header[0]) {
+		t.Fatalf("Fprint output missing name/header:\n%s", out)
+	}
+}
+
+func TestFig02Tiny(t *testing.T) {
+	res, err := Fig02(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4)
+	if len(res.Rows) != 3 {
+		t.Fatalf("Fig02 should compare 3 methods, got %d", len(res.Rows))
+	}
+}
+
+func TestFig12Tiny(t *testing.T) {
+	for _, d := range []staticDataset{DatasetAIDS, DatasetSynthetic} {
+		res, err := Fig12(tiny(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, res, 5) // query set + 4 depths
+		if len(res.Rows) != 3 {
+			t.Fatalf("Fig12 should sweep 3 query sets, got %d", len(res.Rows))
+		}
+	}
+}
+
+func TestFig13Tiny(t *testing.T) {
+	res, err := Fig13(tiny(), DatasetAIDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4)
+	if len(res.Rows) != 6 {
+		t.Fatalf("Fig13 should sweep 6 query sets, got %d", len(res.Rows))
+	}
+}
+
+func TestFig14And15Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: gIndex1 re-mining")
+	}
+	res14, res15, err := Fig1415(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res14, 5)
+	if len(res14.Rows) != 3 {
+		t.Fatalf("Fig14 should cover 3 datasets, got %d", len(res14.Rows))
+	}
+	checkResult(t, res15, 5)
+}
+
+func TestFig16And17Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: three joins over three datasets")
+	}
+	res16, err := Fig16(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res16, 5)
+	// 3 datasets × 4 fractions.
+	if len(res16.Rows) != 12 {
+		t.Fatalf("Fig16 rows = %d; want 12", len(res16.Rows))
+	}
+	res17, err := Fig17(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res17, 5)
+}
+
+func TestAblationTinyIsSound(t *testing.T) {
+	res, err := Ablation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4)
+	// The false-negative column (index 3) must be "0" for every method.
+	for _, row := range res.Rows {
+		if row[3] != "0" {
+			t.Fatalf("method %s reported %s false negatives", row[0], row[3])
+		}
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	c := Config{Scale: 0.0001}
+	if got := c.scaled(10000, 150); got != 150 {
+		t.Fatalf("scaled floor = %d; want 150", got)
+	}
+	c.Scale = 1.0
+	if got := c.scaled(10000, 150); got != 10000 {
+		t.Fatalf("scaled full = %d; want 10000", got)
+	}
+}
+
+func TestStaticDBCandidates(t *testing.T) {
+	cfg := tiny()
+	db := buildStaticDB(cfg, DatasetAIDS, 99)
+	sdb := newStaticDB(db, 3)
+	// Any database graph is a candidate for a query extracted from itself.
+	q := db[0]
+	if got := len(sdb.Candidates(q)); got < 1 {
+		t.Fatalf("graph should be its own candidate; got %d", got)
+	}
+}
+
+func TestScalingTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: three sharded runs")
+	}
+	res, err := Scaling(Config{Seed: 1, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4)
+	// Shard counts 2 and 4 must report identical candidate sets.
+	for _, row := range res.Rows[1:] {
+		if row[3] != "yes" {
+			t.Fatalf("shards=%s candidates diverged", row[0])
+		}
+	}
+}

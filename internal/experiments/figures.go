@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nntstream/internal/core"
+	"nntstream/internal/datagen"
+	"nntstream/internal/gindex"
+	"nntstream/internal/graph"
+	"nntstream/internal/graphgrep"
+	"nntstream/internal/join"
+)
+
+// Fig02 reproduces the preliminary comparison of Figure 2: average query
+// processing time per timestamp and candidate ratio for gIndex, GraphGrep,
+// and the NPV method, on the 70×70 synthetic stream workload.
+func Fig02(cfg Config) (*Result, error) {
+	pairs := cfg.scaled(70, 5)
+	ts := cfg.scaled(100, 10)
+	w := synStreamWorkload(cfg, datagen.SparseFlipDefaults(), pairs, ts, 2)
+
+	res := &Result{
+		Name:    "Figure 2",
+		Caption: "preliminary comparison: avg processing time per timestamp and candidate ratio",
+		Header:  []string{"method", "avg time/ts (ms)", "candidate ratio", "timestamps"},
+		Notes: []string{
+			fmt.Sprintf("workload: %d queries × %d streams, %d timestamps (scale %.2f of the paper's 70×70)", pairs, pairs, ts, cfg.Scale),
+			"gIndex runs its per-timestamp re-mining on a capped number of timestamps; its averages extrapolate",
+		},
+	}
+	gindexTS := minInt(ts, 10)
+	methods := []struct {
+		f     core.Filter
+		maxTS int
+	}{
+		{gindex.New(gindex.Setting2()), gindexTS},
+		{graphgrep.New(graphgrep.DefaultLength), 0},
+		{join.NewDSC(join.DefaultDepth), 0},
+	}
+	for _, m := range methods {
+		cfg.logf("fig02: running %s", m.f.Name())
+		out, err := runStream(w, m.f, m.maxTS, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			out.filter, fmtMS(out.avgPerTS), fmtPct(out.candidateRatio),
+			fmt.Sprintf("%d", out.timestamps),
+		})
+	}
+	return res, nil
+}
+
+// staticDataset names the two static databases of Section V-A.
+type staticDataset int
+
+const (
+	// DatasetAIDS is the AIDS-like chemical database (substituted; see
+	// DESIGN.md).
+	DatasetAIDS staticDataset = iota
+	// DatasetSynthetic is the Kuramochi–Karypis synthetic database.
+	DatasetSynthetic
+)
+
+func (d staticDataset) String() string {
+	if d == DatasetAIDS {
+		return "AIDS-like"
+	}
+	return "synthetic"
+}
+
+func buildStaticDB(cfg Config, d staticDataset, seedOffset int64) []*graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed + seedOffset))
+	switch d {
+	case DatasetAIDS:
+		c := datagen.ChemicalDefaults()
+		c.NumGraphs = cfg.scaled(10000, 150)
+		return datagen.Chemical(c, r)
+	default:
+		c := datagen.StaticSyntheticDefaults()
+		c.NumGraphs = cfg.scaled(10000, 150)
+		// Scale the seed pool with the database so cross-graph fragment
+		// sharing (which frequent-subgraph indexing depends on) is
+		// preserved at reduced scale.
+		c.NumSeeds = cfg.scaled(200, 8)
+		return datagen.Synthetic(c, r)
+	}
+}
+
+// Fig12 reproduces the NNT maximum-depth self-test of Figures 12(a)/(b):
+// candidate ratio after NPV filtering as the depth bound l grows, per query
+// size. The paper's conclusion — depth beyond 3 stops helping — should
+// reproduce on both datasets.
+func Fig12(cfg Config, d staticDataset) (*Result, error) {
+	db := buildStaticDB(cfg, d, 12+int64(d))
+	r := rand.New(rand.NewSource(cfg.Seed + 120 + int64(d)))
+	numQ := cfg.scaled(1000, 30)
+	sizes := []int{8, 16, 24}
+	depths := []int{1, 2, 3, 4}
+
+	res := &Result{
+		Name:    fmt.Sprintf("Figure 12(%s)", map[staticDataset]string{DatasetAIDS: "a", DatasetSynthetic: "b"}[d]),
+		Caption: fmt.Sprintf("candidate ratio vs NNT depth on the %s dataset", d),
+		Header:  []string{"query set"},
+		Notes: []string{
+			fmt.Sprintf("database: %d graphs, %d queries per set (scale %.2f)", len(db), numQ, cfg.Scale),
+		},
+	}
+	for _, l := range depths {
+		res.Header = append(res.Header, fmt.Sprintf("l=%d", l))
+	}
+	queriesBySize := make(map[int][]*graph.Graph)
+	for _, m := range sizes {
+		queriesBySize[m] = datagen.QuerySet(db, numQ, m, r)
+	}
+	for _, l := range depths {
+		cfg.logf("fig12 %s: depth %d", d, l)
+		sdb := newStaticDB(db, l)
+		for si, m := range sizes {
+			total := 0
+			for _, q := range queriesBySize[m] {
+				total += len(sdb.Candidates(q))
+			}
+			ratio := float64(total) / float64(len(db)*numQ)
+			if len(res.Rows) <= si {
+				res.Rows = append(res.Rows, []string{fmt.Sprintf("Q%d", m)})
+			}
+			res.Rows[si] = append(res.Rows[si], fmtPct(ratio))
+		}
+	}
+	return res, nil
+}
+
+// Fig13 reproduces the static effectiveness comparison of Figures
+// 13(a)/(b): candidate ratio per query size for the NPV filter, gIndex1,
+// and GraphGrep.
+func Fig13(cfg Config, d staticDataset) (*Result, error) {
+	db := buildStaticDB(cfg, d, 13+int64(d))
+	r := rand.New(rand.NewSource(cfg.Seed + 130 + int64(d)))
+	numQ := cfg.scaled(1000, 25)
+	sizes := []int{4, 8, 12, 16, 20, 24}
+
+	res := &Result{
+		Name:    fmt.Sprintf("Figure 13(%s)", map[staticDataset]string{DatasetAIDS: "a", DatasetSynthetic: "b"}[d]),
+		Caption: fmt.Sprintf("static effectiveness (candidate ratio) on the %s dataset", d),
+		Header:  []string{"query set", "NPV", "gIndex1", "GraphGrep"},
+		Notes: []string{
+			fmt.Sprintf("database: %d graphs, %d queries per set (scale %.2f)", len(db), numQ, cfg.Scale),
+		},
+	}
+
+	cfg.logf("fig13 %s: building NPV projections", d)
+	sdb := newStaticDB(db, join.DefaultDepth)
+	cfg.logf("fig13 %s: mining gIndex1 features", d)
+	idx := gindex.Build(db, gindex.Setting1().MineConfig(len(db)))
+	cfg.logf("fig13 %s: %d gIndex1 features", d, len(idx.Features))
+	cfg.logf("fig13 %s: computing GraphGrep fingerprints", d)
+	fps := make([]graphgrep.Fingerprint, len(db))
+	for i, g := range db {
+		fps[i] = graphgrep.Compute(g, graphgrep.DefaultLength)
+	}
+
+	for _, m := range sizes {
+		queries := datagen.QuerySet(db, numQ, m, r)
+		var nTot, gTot, pTot int
+		for _, q := range queries {
+			nTot += len(sdb.Candidates(q))
+			gTot += len(idx.Candidates(q, len(db)))
+			qfp := graphgrep.Compute(q, graphgrep.DefaultLength)
+			for i := range db {
+				if graphgrep.Covers(fps[i], qfp) {
+					pTot++
+				}
+			}
+		}
+		denom := float64(len(db) * numQ)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("Q%d", m),
+			fmtPct(float64(nTot) / denom),
+			fmtPct(float64(gTot) / denom),
+			fmtPct(float64(pTot) / denom),
+		})
+		cfg.logf("fig13 %s: Q%d done", d, m)
+	}
+	return res, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

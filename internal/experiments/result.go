@@ -1,0 +1,100 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the reproduced system: the preliminary
+// comparison (Figure 2), the NNT depth sweep (Figure 12), static
+// effectiveness (Figure 13), stream effectiveness and efficiency (Figures
+// 14 and 15), and the query/stream scalability sweeps (Figures 16 and 17),
+// plus an ablation comparing branch-compatible NNT filtering against the
+// NPV projection.
+//
+// Every runner takes a Config whose Scale shrinks the paper's workload
+// proportionally — Scale 1.0 is the paper's size, smaller values produce
+// the same comparisons in minutes. Seeds make every run reproducible.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config controls workload sizes and reproducibility.
+type Config struct {
+	// Seed drives all generators.
+	Seed int64
+	// Scale multiplies the paper's workload sizes (graph counts, query
+	// counts, timestamps). 1.0 reproduces the paper's scale.
+	Scale float64
+	// Verbose, when set, receives progress lines.
+	Verbose io.Writer
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// scaled applies Scale to a paper-scale quantity with a floor.
+func (c Config) scaled(paper, min int) int {
+	n := int(float64(paper)*c.Scale + 0.5)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Result is one regenerated table or figure, as the rows the paper plots.
+type Result struct {
+	// Name identifies the paper artifact ("Figure 14", …).
+	Name string
+	// Caption summarizes what is being measured.
+	Caption string
+	// Header and Rows hold the table body.
+	Header []string
+	Rows   [][]string
+	// Notes records scale, substitutions, and soundness checks.
+	Notes []string
+}
+
+// Fprint renders the result as a fixed-width table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", r.Name, r.Caption)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

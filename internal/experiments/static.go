@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"nntstream/internal/graph"
+	"nntstream/internal/static"
+)
+
+// newStaticDB builds the NPV index the static experiments (Figures 12 and
+// 13) filter against; the heavy lifting lives in internal/static.
+func newStaticDB(db []*graph.Graph, depth int) *static.Index {
+	return static.NewIndex(db, depth)
+}

@@ -1,0 +1,386 @@
+package gindex
+
+import (
+	"sort"
+
+	"nntstream/internal/graph"
+)
+
+// mgraph is the compact adjacency form the miner works on: vertices are
+// dense indices, adjacency lists are sorted for determinism.
+type mgraph struct {
+	vlabels []graph.Label
+	adj     [][]medge
+}
+
+type medge struct {
+	to int
+	el graph.Label
+}
+
+// toMGraph converts a graph.Graph, mapping vertex IDs to dense indices in
+// ascending ID order.
+func toMGraph(g *graph.Graph) *mgraph {
+	ids := g.VertexIDs()
+	idx := make(map[graph.VertexID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	m := &mgraph{
+		vlabels: make([]graph.Label, len(ids)),
+		adj:     make([][]medge, len(ids)),
+	}
+	for i, id := range ids {
+		m.vlabels[i] = g.MustVertexLabel(id)
+		for _, e := range g.NeighborsSorted(id) {
+			m.adj[i] = append(m.adj[i], medge{to: idx[e.V], el: e.Label})
+		}
+	}
+	return m
+}
+
+// embedding maps pattern DFS indices to graph vertex indices.
+type embedding []int32
+
+func (e embedding) has(gv int) bool {
+	for _, x := range e {
+		if int(x) == gv {
+			return true
+		}
+	}
+	return false
+}
+
+// extend returns a new embedding with gv appended.
+func (e embedding) extend(gv int) embedding {
+	out := make(embedding, len(e)+1)
+	copy(out, e)
+	out[len(e)] = int32(gv)
+	return out
+}
+
+// extensions enumerates the gSpan rightmost-path extensions of pattern p
+// realized by embedding emb in graph g: backward edges from the rightmost
+// vertex to rightmost-path vertices, and forward edges from rightmost-path
+// vertices to unmapped graph vertices. yield receives the code edge and,
+// for forward extensions, the new graph vertex (-1 for backward).
+func extensions(p *pattern, g *mgraph, emb embedding, yield func(e ecode, gv int)) {
+	r := p.rightmost()
+	gr := int(emb[r])
+	// Backward: rightmost vertex to a rightmost-path vertex (not already a
+	// pattern edge).
+	for _, me := range g.adj[gr] {
+		for _, x := range p.rmpath {
+			if x == r || int(emb[x]) != me.to || p.hasEdge(r, x) {
+				continue
+			}
+			yield(ecode{fi: r, ti: x, fl: p.vlabels[r], el: me.el, tl: p.vlabels[x]}, -1)
+		}
+	}
+	// Forward: from any rightmost-path vertex to a new graph vertex.
+	n := len(p.vlabels)
+	for _, u := range p.rmpath {
+		gu := int(emb[u])
+		for _, me := range g.adj[gu] {
+			if emb.has(me.to) {
+				continue
+			}
+			yield(ecode{fi: u, ti: n, fl: p.vlabels[u], el: me.el, tl: g.vlabels[me.to]}, me.to)
+		}
+	}
+}
+
+// isMin reports whether c is the minimum DFS code of the pattern it
+// describes. It rebuilds the minimal code of the pattern incrementally:
+// at every step the lexicographically smallest extension over all
+// embeddings of the minimal prefix (in the pattern itself) must equal the
+// corresponding entry of c.
+func isMin(c dfscode) bool {
+	if len(c) == 0 {
+		return true
+	}
+	p := patternFromCode(c)
+	self := &mgraph{vlabels: p.vlabels, adj: make([][]medge, len(p.vlabels))}
+	for e, l := range p.edges {
+		self.adj[e[0]] = append(self.adj[e[0]], medge{to: e[1], el: l})
+		self.adj[e[1]] = append(self.adj[e[1]], medge{to: e[0], el: l})
+	}
+	for i := range self.adj {
+		sort.Slice(self.adj[i], func(a, b int) bool { return self.adj[i][a].to < self.adj[i][b].to })
+	}
+
+	// Minimal first edge: the smallest (fl, el, tl) triple with fl ≤ tl.
+	first := c[0]
+	if first.fl > first.tl {
+		return false
+	}
+	var embs []embedding
+	for u := range self.vlabels {
+		for _, me := range self.adj[u] {
+			fl, tl := self.vlabels[u], self.vlabels[me.to]
+			if fl > tl {
+				continue
+			}
+			switch lessTriple(fl, me.el, tl, first.fl, first.el, first.tl) {
+			case -1:
+				return false // a smaller starting edge exists
+			case 0:
+				embs = append(embs, embedding{int32(u), int32(me.to)})
+			}
+		}
+	}
+
+	minPrefix := dfscode{first}
+	for step := 1; step < len(c); step++ {
+		mp := patternFromCode(minPrefix)
+		best := ecode{}
+		haveBest := false
+		var nextEmbs []embedding
+		for _, emb := range embs {
+			extensions(mp, self, emb, func(e ecode, gv int) {
+				if !haveBest || extLess(e, best) {
+					best, haveBest = e, true
+					nextEmbs = nextEmbs[:0]
+				}
+				if e == best {
+					if gv >= 0 {
+						nextEmbs = append(nextEmbs, emb.extend(gv))
+					} else {
+						nextEmbs = append(nextEmbs, emb)
+					}
+				}
+			})
+		}
+		if !haveBest || best != c[step] {
+			// best < c[step] means c is not minimal; best cannot exceed
+			// c[step] because c's own identity embedding realizes it.
+			return false
+		}
+		minPrefix = append(minPrefix, best)
+		embs = nextEmbs
+	}
+	return true
+}
+
+// lessTriple compares (fl,el,tl) triples lexicographically: -1, 0, or 1.
+func lessTriple(af, ae, at, bf, be, bt graph.Label) int {
+	switch {
+	case af != bf:
+		if af < bf {
+			return -1
+		}
+		return 1
+	case ae != be:
+		if ae < be {
+			return -1
+		}
+		return 1
+	case at != bt:
+		if at < bt {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Feature is one mined frequent fragment: its canonical code, the fragment
+// graph, and the indices of the database graphs containing it.
+type Feature struct {
+	Code     dfscode
+	Graph    *graph.Graph
+	Postings []int
+}
+
+// MineConfig bounds the miner.
+type MineConfig struct {
+	// MinSup is the absolute minimum support (number of graphs).
+	MinSup int
+	// SupportFunc, when set, overrides MinSup with a per-size threshold —
+	// gIndex's size-increasing support: generic large fragments must be
+	// frequent in many graphs while small fragments are kept cheaply.
+	SupportFunc func(edges int) int
+	// MaxEdges bounds fragment size; the paper's settings are 10 (gIndex1)
+	// and 3 (gIndex2).
+	MaxEdges int
+	// MaxFeatures stops indexing after this many fragments (0 =
+	// unlimited). Because mining proceeds level-wise (all fragments of k
+	// edges before any of k+1), a hit cap drops the largest fragments —
+	// the right bias, since small fragments carry most of the pruning.
+	// Any cap only removes features, which keeps filters sound.
+	MaxFeatures int
+	// MaxEmbeddings caps the embedding list per (fragment, graph)
+	// (0 = unlimited); see the package comment.
+	MaxEmbeddings int
+	// LevelCap bounds the number of fragments carried from one size level
+	// to the next (0 = unlimited); the most frequent survive. This bounds
+	// the pattern-explosion inherent to few-label databases.
+	LevelCap int
+	// Gamma enables gIndex's discriminative selection: a fragment is
+	// indexed only when its support is at least Gamma times smaller than
+	// its generating parent's (single edges are always indexed). 0
+	// indexes every frequent fragment.
+	Gamma float64
+}
+
+func (c MineConfig) supportAt(edges int) int {
+	s := c.MinSup
+	if c.SupportFunc != nil {
+		s = c.SupportFunc(edges)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// projections maps a database graph index to the embeddings of the current
+// pattern in that graph.
+type projections map[int][]embedding
+
+// pstate is one frequent pattern carried between size levels.
+type pstate struct {
+	code          dfscode
+	pj            projections
+	support       int
+	parentSupport int
+}
+
+// Mine runs the gSpan pattern-growth miner over the database, level-wise:
+// all frequent canonical fragments of size k are produced (and indexed)
+// before any of size k+1. Every canonical DFS code is generated exactly
+// once, from its unique minimal prefix (prefixes of minimum codes are
+// minimum codes), so levels need no deduplication.
+func Mine(db []*graph.Graph, cfg MineConfig) []*Feature {
+	mdb := make([]*mgraph, len(db))
+	for i, g := range db {
+		mdb[i] = toMGraph(g)
+	}
+
+	// Level 1: all frequent single-edge codes with fl ≤ tl.
+	seeds := make(map[ecode]projections)
+	for gi, g := range mdb {
+		for u := range g.vlabels {
+			for _, me := range g.adj[u] {
+				fl, tl := g.vlabels[u], g.vlabels[me.to]
+				if fl > tl {
+					continue
+				}
+				e := ecode{fi: 0, ti: 1, fl: fl, el: me.el, tl: tl}
+				pj := seeds[e]
+				if pj == nil {
+					pj = make(projections)
+					seeds[e] = pj
+				}
+				if cfg.MaxEmbeddings == 0 || len(pj[gi]) < cfg.MaxEmbeddings {
+					pj[gi] = append(pj[gi], embedding{int32(u), int32(me.to)})
+				}
+			}
+		}
+	}
+	var level []*pstate
+	for e, pj := range seeds {
+		if len(pj) >= cfg.supportAt(1) {
+			level = append(level, &pstate{
+				code: dfscode{e}, pj: pj, support: len(pj), parentSupport: len(mdb),
+			})
+		}
+	}
+	sortLevel(level)
+	level = capLevel(level, cfg.LevelCap)
+
+	var features []*Feature
+	emit := func(p *pstate) bool {
+		if cfg.MaxFeatures > 0 && len(features) >= cfg.MaxFeatures {
+			return false
+		}
+		if cfg.Gamma > 0 && len(p.code) > 1 &&
+			float64(p.parentSupport) < cfg.Gamma*float64(p.support) {
+			return true // frequent but not discriminative: explore, don't index
+		}
+		postings := make([]int, 0, len(p.pj))
+		for gi := range p.pj {
+			postings = append(postings, gi)
+		}
+		sort.Ints(postings)
+		features = append(features, &Feature{
+			Code:     append(dfscode(nil), p.code...),
+			Graph:    patternFromCode(p.code).toGraph(),
+			Postings: postings,
+		})
+		return true
+	}
+
+	for _, p := range level {
+		if !emit(p) {
+			return features
+		}
+	}
+	for k := 1; k < cfg.MaxEdges && len(level) > 0; k++ {
+		minSup := cfg.supportAt(k + 1)
+		var next []*pstate
+		for _, p := range level {
+			pat := patternFromCode(p.code)
+			exts := make(map[ecode]projections)
+			for gi, embs := range p.pj {
+				g := mdb[gi]
+				for _, emb := range embs {
+					extensions(pat, g, emb, func(e ecode, gv int) {
+						epj := exts[e]
+						if epj == nil {
+							epj = make(projections)
+							exts[e] = epj
+						}
+						if cfg.MaxEmbeddings > 0 && len(epj[gi]) >= cfg.MaxEmbeddings {
+							return
+						}
+						if gv >= 0 {
+							epj[gi] = append(epj[gi], emb.extend(gv))
+						} else {
+							epj[gi] = append(epj[gi], emb)
+						}
+					})
+				}
+			}
+			for e, epj := range exts {
+				if len(epj) < minSup {
+					continue
+				}
+				child := append(append(dfscode{}, p.code...), e)
+				if !isMin(child) {
+					continue
+				}
+				next = append(next, &pstate{
+					code: child, pj: epj, support: len(epj), parentSupport: p.support,
+				})
+			}
+		}
+		sortLevel(next)
+		next = capLevel(next, cfg.LevelCap)
+		for _, p := range next {
+			if !emit(p) {
+				return features
+			}
+		}
+		level = next
+	}
+	return features
+}
+
+// sortLevel orders patterns by support descending, then canonical code, so
+// level caps keep the most frequent fragments and runs are deterministic.
+func sortLevel(level []*pstate) {
+	sort.Slice(level, func(i, j int) bool {
+		if level[i].support != level[j].support {
+			return level[i].support > level[j].support
+		}
+		return level[i].code.key() < level[j].code.key()
+	})
+}
+
+func capLevel(level []*pstate, cap int) []*pstate {
+	if cap > 0 && len(level) > cap {
+		return level[:cap]
+	}
+	return level
+}

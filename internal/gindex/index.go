@@ -1,0 +1,142 @@
+package gindex
+
+import (
+	"sort"
+
+	"nntstream/internal/graph"
+)
+
+// Index is a built gIndex: the mined features, a DFS-code prefix trie over
+// them for query fragment enumeration, and per-feature postings.
+type Index struct {
+	Features []*Feature
+	root     *trieNode
+}
+
+type trieNode struct {
+	children map[ecode]*trieNode
+	// feature is the index into Features terminating here, or -1.
+	feature int
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[ecode]*trieNode), feature: -1}
+}
+
+// Build mines the database and assembles the index.
+func Build(db []*graph.Graph, cfg MineConfig) *Index {
+	idx := &Index{
+		Features: Mine(db, cfg),
+		root:     newTrieNode(),
+	}
+	for fi, f := range idx.Features {
+		node := idx.root
+		for _, e := range f.Code {
+			child, ok := node.children[e]
+			if !ok {
+				child = newTrieNode()
+				node.children[e] = child
+			}
+			node = child
+		}
+		node.feature = fi
+	}
+	return idx
+}
+
+// MatchQuery returns the indices of indexed features contained in q, in
+// ascending order. Fragments of q are grown gSpan-style but only along
+// paths of the feature trie: since every prefix of a minimum DFS code is
+// itself a minimum code, every indexed feature contained in q is reached,
+// and since a DFS code determines its pattern, every terminal reached is a
+// feature contained in q.
+func (idx *Index) MatchQuery(q *graph.Graph) []int {
+	g := toMGraph(q)
+	found := make(map[int]bool)
+
+	var walk func(node *trieNode, code dfscode, embs []embedding)
+	walk = func(node *trieNode, code dfscode, embs []embedding) {
+		if node.feature >= 0 {
+			found[node.feature] = true
+		}
+		if len(node.children) == 0 {
+			return
+		}
+		p := patternFromCode(code)
+		exts := make(map[ecode][]embedding)
+		for _, emb := range embs {
+			extensions(p, g, emb, func(e ecode, gv int) {
+				if _, ok := node.children[e]; !ok {
+					return
+				}
+				if gv >= 0 {
+					exts[e] = append(exts[e], emb.extend(gv))
+				} else {
+					exts[e] = append(exts[e], emb)
+				}
+			})
+		}
+		for e, nextEmbs := range exts {
+			walk(node.children[e], append(append(dfscode{}, code...), e), nextEmbs)
+		}
+	}
+
+	// Seed with the trie's first edges realized in q.
+	seeds := make(map[ecode][]embedding)
+	for u := range g.vlabels {
+		for _, me := range g.adj[u] {
+			fl, tl := g.vlabels[u], g.vlabels[me.to]
+			if fl > tl {
+				continue
+			}
+			e := ecode{fi: 0, ti: 1, fl: fl, el: me.el, tl: tl}
+			if _, ok := idx.root.children[e]; ok {
+				seeds[e] = append(seeds[e], embedding{int32(u), int32(me.to)})
+			}
+		}
+	}
+	for e, embs := range seeds {
+		walk(idx.root.children[e], dfscode{e}, embs)
+	}
+
+	out := make([]int, 0, len(found))
+	for fi := range found {
+		out = append(out, fi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Candidates returns the database graph indices that contain every indexed
+// feature contained in q — gIndex's filtering step. total is the database
+// size; with no matched features, every graph is a candidate.
+func (idx *Index) Candidates(q *graph.Graph, total int) []int {
+	matched := idx.MatchQuery(q)
+	return idx.CandidatesFromFeatures(matched, total)
+}
+
+// CandidatesFromFeatures intersects the postings of the given features over
+// the universe [0, total).
+func (idx *Index) CandidatesFromFeatures(featureIDs []int, total int) []int {
+	if len(featureIDs) == 0 {
+		all := make([]int, total)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	counts := make(map[int]int)
+	for _, fi := range featureIDs {
+		for _, gi := range idx.Features[fi].Postings {
+			counts[gi]++
+		}
+	}
+	var out []int
+	for gi, c := range counts {
+		if c == len(featureIDs) {
+			out = append(out, gi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package gindex
+
+import (
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+// chain builds a path graph with the given vertex labels.
+func chain(t *testing.T, labels ...graph.Label) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i, l := range labels {
+		if err := g.AddVertex(graph.VertexID(i), l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		if err := g.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSizeIncreasingSupport(t *testing.T) {
+	// DB: three copies of A-B-C and one A-B-C-D. With a support function
+	// requiring 1 graph at size ≤2 but 4 graphs at size 3, the 3-edge
+	// fragment A-B-C-D (support 1) is cut while 2-edge fragments survive.
+	db := []*graph.Graph{
+		chain(t, 0, 1, 2), chain(t, 0, 1, 2), chain(t, 0, 1, 2),
+		chain(t, 0, 1, 2, 3),
+	}
+	feats := Mine(db, MineConfig{
+		MaxEdges: 3,
+		SupportFunc: func(edges int) int {
+			if edges >= 3 {
+				return 4
+			}
+			return 1
+		},
+	})
+	for _, f := range feats {
+		if f.Graph.EdgeCount() >= 3 {
+			t.Fatalf("size-3 fragment %v survived a support-4 threshold with support %d",
+				f.Code, len(f.Postings))
+		}
+	}
+	// The 2-edge A-B-C fragment must be present (support 4).
+	found := false
+	for _, f := range feats {
+		if f.Graph.EdgeCount() == 2 && len(f.Postings) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("frequent 2-edge fragment missing")
+	}
+}
+
+func TestDiscriminativeGammaSkipsRedundantFragments(t *testing.T) {
+	// Every graph that contains A-B also contains A-B-C (they are the same
+	// chains), so the child fragment's postings equal its parent's and a
+	// gamma > 1 must skip indexing the child while single edges stay.
+	db := []*graph.Graph{
+		chain(t, 0, 1, 2), chain(t, 0, 1, 2), chain(t, 0, 1, 2),
+	}
+	full := Mine(db, MineConfig{MinSup: 1, MaxEdges: 2})
+	discriminative := Mine(db, MineConfig{MinSup: 1, MaxEdges: 2, Gamma: 1.25})
+	if len(discriminative) >= len(full) {
+		t.Fatalf("gamma did not reduce the index: %d vs %d", len(discriminative), len(full))
+	}
+	// All single-edge fragments are always indexed.
+	singles := 0
+	for _, f := range discriminative {
+		if f.Graph.EdgeCount() == 1 {
+			singles++
+		}
+	}
+	if singles != 2 { // A-B and B-C
+		t.Fatalf("single-edge fragments = %d; want 2", singles)
+	}
+}
+
+func TestLevelCapKeepsMostFrequent(t *testing.T) {
+	// Two 1-edge fragment classes with supports 3 and 1; a level cap of 1
+	// must keep the more frequent one.
+	db := []*graph.Graph{
+		chain(t, 0, 1), chain(t, 0, 1), chain(t, 0, 1),
+		chain(t, 2, 3),
+	}
+	feats := Mine(db, MineConfig{MinSup: 1, MaxEdges: 1, LevelCap: 1})
+	if len(feats) != 1 {
+		t.Fatalf("features = %d; want 1", len(feats))
+	}
+	if len(feats[0].Postings) != 3 {
+		t.Fatalf("kept fragment has support %d; want the support-3 one", len(feats[0].Postings))
+	}
+}
+
+func TestExtLessOrder(t *testing.T) {
+	back := ecode{fi: 2, ti: 0, fl: 0, el: 0, tl: 0}
+	fwdDeep := ecode{fi: 2, ti: 3, fl: 0, el: 0, tl: 0}
+	fwdShallow := ecode{fi: 0, ti: 3, fl: 0, el: 0, tl: 0}
+	if !extLess(back, fwdDeep) {
+		t.Fatal("backward extensions precede forward ones")
+	}
+	if !extLess(fwdDeep, fwdShallow) {
+		t.Fatal("forward from deeper rightmost-path vertex precedes shallower")
+	}
+	b2 := ecode{fi: 2, ti: 1, fl: 0, el: 0, tl: 0}
+	if !extLess(back, b2) {
+		t.Fatal("backward edges order by destination")
+	}
+	e2 := ecode{fi: 2, ti: 3, fl: 0, el: 1, tl: 0}
+	if !extLess(fwdDeep, e2) {
+		t.Fatal("forward edges tie-break on edge label")
+	}
+}
+
+func TestCodeKeyDistinct(t *testing.T) {
+	a := dfscode{{fi: 0, ti: 1, fl: 1, el: 2, tl: 3}}
+	b := dfscode{{fi: 0, ti: 1, fl: 1, el: 2, tl: 4}}
+	if a.key() == b.key() {
+		t.Fatal("distinct codes share a key")
+	}
+	if a.String() == "" {
+		t.Fatal("empty code rendering")
+	}
+}

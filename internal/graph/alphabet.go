@@ -1,0 +1,47 @@
+package graph
+
+import "fmt"
+
+// Alphabet interns human-readable label names as compact Label values. It is
+// a convenience for examples, dataset loaders, and CLI tools; the core
+// algorithms work on Label values directly.
+type Alphabet struct {
+	names []string
+	ids   map[string]Label
+}
+
+// NewAlphabet returns an empty alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{ids: make(map[string]Label)}
+}
+
+// Intern returns the Label for name, assigning the next free value on first
+// use.
+func (a *Alphabet) Intern(name string) Label {
+	if id, ok := a.ids[name]; ok {
+		return id
+	}
+	id := Label(len(a.names))
+	a.names = append(a.names, name)
+	a.ids[name] = id
+	return id
+}
+
+// Lookup returns the Label for name without interning. The second result is
+// false when name has not been interned.
+func (a *Alphabet) Lookup(name string) (Label, bool) {
+	id, ok := a.ids[name]
+	return id, ok
+}
+
+// Name returns the human-readable name of l, or a numeric placeholder when l
+// was never interned through this alphabet.
+func (a *Alphabet) Name(l Label) string {
+	if int(l) < len(a.names) {
+		return a.names[l]
+	}
+	return fmt.Sprintf("#%d", l)
+}
+
+// Size reports the number of interned labels.
+func (a *Alphabet) Size() int { return len(a.names) }

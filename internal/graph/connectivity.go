@@ -1,0 +1,86 @@
+package graph
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.labels) == 0 {
+		return true
+	}
+	var start VertexID
+	for v := range g.labels {
+		start = v
+		break
+	}
+	seen := map[VertexID]bool{start: true}
+	stack := []VertexID{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, he := range g.adj[v] {
+			if !seen[he.to] {
+				seen[he.to] = true
+				stack = append(stack, he.to)
+			}
+		}
+	}
+	return len(seen) == len(g.labels)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted by vertex ID, ordered by their smallest vertex ID.
+func (g *Graph) ConnectedComponents() [][]VertexID {
+	seen := make(map[VertexID]bool, len(g.labels))
+	var comps [][]VertexID
+	for _, start := range g.VertexIDs() {
+		if seen[start] {
+			continue
+		}
+		var comp []VertexID
+		stack := []VertexID{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, he := range g.adj[v] {
+				if !seen[he.to] {
+					seen[he.to] = true
+					stack = append(stack, he.to)
+				}
+			}
+		}
+		// comp was collected in DFS order; normalize.
+		sortVertexIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func sortVertexIDs(vs []VertexID) {
+	// Insertion sort: component slices are small and this avoids a
+	// sort.Slice closure allocation on a utility path.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices: those
+// vertices with their labels and every edge of g joining two of them.
+func (g *Graph) InducedSubgraph(vs []VertexID) *Graph {
+	sub := New()
+	for _, v := range vs {
+		if l, ok := g.VertexLabel(v); ok {
+			_ = sub.AddVertex(v, l)
+		}
+	}
+	for _, v := range vs {
+		for _, he := range g.adj[v] {
+			if v < he.to && sub.HasVertex(he.to) {
+				_ = sub.AddEdge(v, he.to, he.label)
+			}
+		}
+	}
+	return sub
+}

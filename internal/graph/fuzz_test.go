@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestParsersNeverPanic mutates valid serialized inputs and checks the
+// parsers fail cleanly (error or success, never a panic) — the robustness a
+// daemon reading workload files from disk needs.
+func TestParsersNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	// Seed corpus: a database and a stream.
+	g := randomGraph(r, 8, 3, 0.4)
+	var db bytes.Buffer
+	if err := WriteDatabase(&db, []*Graph{g, g}); err != nil {
+		t.Fatal(err)
+	}
+	s := &Stream{Start: g.Clone(), Changes: []ChangeSet{
+		{InsertOp(50, 1, 51, 2, 0)},
+		{DeleteOp(50, 51)},
+	}}
+	var sb bytes.Buffer
+	if err := WriteStream(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+
+	corpus := [][]byte{db.Bytes(), sb.Bytes()}
+	mutate := func(in []byte) []byte {
+		out := append([]byte(nil), in...)
+		for k := 0; k < 1+r.Intn(8); k++ {
+			if len(out) == 0 {
+				break
+			}
+			switch r.Intn(4) {
+			case 0: // flip a byte
+				out[r.Intn(len(out))] = byte(r.Intn(256))
+			case 1: // delete a span
+				i := r.Intn(len(out))
+				j := i + r.Intn(len(out)-i)
+				out = append(out[:i], out[j:]...)
+			case 2: // duplicate a span
+				i := r.Intn(len(out))
+				j := i + r.Intn(len(out)-i)
+				out = append(out[:j], append(append([]byte(nil), out[i:j]...), out[j:]...)...)
+			case 3: // insert junk
+				i := r.Intn(len(out) + 1)
+				junk := []byte{byte(r.Intn(256)), '\n', '-', '9'}
+				out = append(out[:i], append(junk, out[i:]...)...)
+			}
+		}
+		return out
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		in := mutate(corpus[trial%len(corpus)])
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: parser panicked: %v\ninput: %q", trial, p, in)
+				}
+			}()
+			_, _ = ReadDatabase(bytes.NewReader(in))
+			_, _ = ReadStream(bytes.NewReader(in))
+		}()
+	}
+}
+
+// TestStreamReplayRejectsCorruption: a stream whose ops conflict with its
+// start graph surfaces an error through ChangeSet.Apply rather than
+// corrupting state silently.
+func TestStreamReplayRejectsCorruption(t *testing.T) {
+	g := New()
+	_ = g.AddVertex(0, 1)
+	_ = g.AddVertex(1, 2)
+	_ = g.AddEdge(0, 1, 0)
+	// Op relabels vertex 0 via insert — must error.
+	bad := ChangeSet{InsertOp(0, 9, 2, 0, 0)}
+	if err := bad.Apply(g.Clone()); err == nil {
+		t.Fatal("conflicting relabel should error")
+	}
+	// Edge relabel must error too.
+	bad2 := ChangeSet{InsertOp(0, 1, 1, 2, 7)}
+	if err := bad2.Apply(g.Clone()); err == nil {
+		t.Fatal("conflicting edge relabel should error")
+	}
+}

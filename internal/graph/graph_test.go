@@ -1,0 +1,305 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddVertex(t *testing.T, g *Graph, v VertexID, l Label) {
+	t.Helper()
+	if err := g.AddVertex(v, l); err != nil {
+		t.Fatalf("AddVertex(%d,%d): %v", v, l, err)
+	}
+}
+
+func mustAddEdge(t *testing.T, g *Graph, u, v VertexID, l Label) {
+	t.Helper()
+	if err := g.AddEdge(u, v, l); err != nil {
+		t.Fatalf("AddEdge(%d,%d,%d): %v", u, v, l, err)
+	}
+}
+
+// triangle builds 0-1-2-0 with vertex labels 0,1,2 and edge label 9.
+func triangle(t *testing.T) *Graph {
+	g := New()
+	for i := 0; i < 3; i++ {
+		mustAddVertex(t, g, VertexID(i), Label(i))
+	}
+	mustAddEdge(t, g, 0, 1, 9)
+	mustAddEdge(t, g, 1, 2, 9)
+	mustAddEdge(t, g, 2, 0, 9)
+	return g
+}
+
+func TestAddRemoveVertex(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, 7, 3)
+	if !g.HasVertex(7) {
+		t.Fatal("vertex 7 missing after add")
+	}
+	if l, ok := g.VertexLabel(7); !ok || l != 3 {
+		t.Fatalf("VertexLabel(7) = %d,%v; want 3,true", l, ok)
+	}
+	// Idempotent re-add with same label.
+	if err := g.AddVertex(7, 3); err != nil {
+		t.Fatalf("re-add same label: %v", err)
+	}
+	// Relabel is rejected.
+	if err := g.AddVertex(7, 4); err == nil {
+		t.Fatal("re-add with different label should fail")
+	}
+	g.RemoveVertex(7)
+	if g.HasVertex(7) {
+		t.Fatal("vertex 7 present after remove")
+	}
+	g.RemoveVertex(7) // removing absent vertex is a no-op
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := triangle(t)
+	if g.EdgeCount() != 3 {
+		t.Fatalf("EdgeCount = %d; want 3", g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} should be visible from both directions")
+	}
+	if l, ok := g.EdgeLabel(2, 0); !ok || l != 9 {
+		t.Fatalf("EdgeLabel(2,0) = %d,%v; want 9,true", l, ok)
+	}
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge(1,2) reported no removal")
+	}
+	if g.HasEdge(2, 1) {
+		t.Fatal("edge {1,2} present after removal")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("second removal should report false")
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount = %d; want 2", g.EdgeCount())
+	}
+}
+
+func TestEdgeValidation(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, 0, 0)
+	mustAddVertex(t, g, 1, 0)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop should be rejected")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Fatal("edge to absent vertex should be rejected")
+	}
+	mustAddEdge(t, g, 0, 1, 2)
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatalf("idempotent edge re-add: %v", err)
+	}
+	if err := g.AddEdge(1, 0, 3); err == nil {
+		t.Fatal("edge relabel should be rejected")
+	}
+}
+
+func TestRemoveVertexRemovesIncidentEdges(t *testing.T) {
+	g := triangle(t)
+	g.RemoveVertex(1)
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d; want 1", g.EdgeCount())
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Fatal("edges incident to removed vertex still present")
+	}
+	if !g.HasEdge(0, 2) {
+		t.Fatal("unrelated edge lost")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := triangle(t)
+	if d := g.Degree(0); d != 2 {
+		t.Fatalf("Degree(0) = %d; want 2", d)
+	}
+	if d := g.MaxDegree(); d != 2 {
+		t.Fatalf("MaxDegree = %d; want 2", d)
+	}
+	got := map[VertexID]Label{}
+	g.Neighbors(0, func(u VertexID, l Label) bool {
+		got[u] = l
+		return true
+	})
+	if len(got) != 2 || got[1] != 9 || got[2] != 9 {
+		t.Fatalf("Neighbors(0) = %v", got)
+	}
+	ns := g.NeighborsSorted(0)
+	if len(ns) != 2 || ns[0].V != 1 || ns[1].V != 2 {
+		t.Fatalf("NeighborsSorted(0) = %v", ns)
+	}
+	// Early-stop iteration.
+	count := 0
+	g.Neighbors(0, func(VertexID, Label) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop visited %d neighbors; want 1", count)
+	}
+}
+
+func TestEdgesSortedAndCanonical(t *testing.T) {
+	g := triangle(t)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("Edges() returned %d edges; want 3", len(es))
+	}
+	for i, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge %d not canonical: %v", i, e)
+		}
+		if i > 0 && (es[i-1].U > e.U || (es[i-1].U == e.U && es[i-1].V > e.V)) {
+			t.Fatalf("edges not sorted: %v", es)
+		}
+	}
+	e := Edge{U: 5, V: 2, Label: 1}.Canonical()
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("Canonical() = %v", e)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle(t)
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal to original")
+	}
+	c.RemoveEdge(0, 1)
+	if g.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqualDetectsLabelDifferences(t *testing.T) {
+	a := triangle(t)
+	b := New()
+	for i := 0; i < 3; i++ {
+		mustAddVertex(t, b, VertexID(i), Label(i))
+	}
+	mustAddEdge(t, b, 0, 1, 9)
+	mustAddEdge(t, b, 1, 2, 9)
+	mustAddEdge(t, b, 2, 0, 8) // different edge label
+	if a.Equal(b) {
+		t.Fatal("Equal ignored edge label difference")
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, 0, 5)
+	mustAddVertex(t, g, 1, 5)
+	mustAddVertex(t, g, 2, 6)
+	h := g.LabelHistogram()
+	if h[5] != 2 || h[6] != 1 {
+		t.Fatalf("LabelHistogram = %v", h)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New()
+	if !g.IsConnected() {
+		t.Fatal("empty graph should be connected")
+	}
+	mustAddVertex(t, g, 0, 0)
+	mustAddVertex(t, g, 1, 0)
+	if g.IsConnected() {
+		t.Fatal("two isolated vertices are not connected")
+	}
+	mustAddEdge(t, g, 0, 1, 0)
+	if !g.IsConnected() {
+		t.Fatal("single edge graph should be connected")
+	}
+	mustAddVertex(t, g, 5, 1)
+	mustAddVertex(t, g, 6, 1)
+	mustAddEdge(t, g, 5, 6, 0)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("ConnectedComponents = %v; want 2 components", comps)
+	}
+	if comps[0][0] != 0 || comps[1][0] != 5 {
+		t.Fatalf("components not ordered by smallest vertex: %v", comps)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := triangle(t)
+	sub := g.InducedSubgraph([]VertexID{0, 1})
+	if sub.VertexCount() != 2 || sub.EdgeCount() != 1 || !sub.HasEdge(0, 1) {
+		t.Fatalf("InducedSubgraph = %v", sub)
+	}
+	// Absent vertices are skipped silently.
+	sub2 := g.InducedSubgraph([]VertexID{0, 99})
+	if sub2.VertexCount() != 1 || sub2.EdgeCount() != 0 {
+		t.Fatalf("InducedSubgraph with absent vertex = %v", sub2)
+	}
+}
+
+// randomGraph builds a random graph with n vertices for property tests.
+func randomGraph(r *rand.Rand, n, labels int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		_ = g.AddVertex(VertexID(i), Label(r.Intn(labels)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				_ = g.AddEdge(VertexID(i), VertexID(j), Label(r.Intn(labels)))
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(20), 1+r.Intn(4), r.Float64())
+		return g.Equal(g.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeCountMatchesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(20), 1+r.Intn(4), r.Float64())
+		return len(g.Edges()) == g.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentsPartitionVertices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 1+r.Intn(25), 2, 0.08)
+		total := 0
+		seen := map[VertexID]bool{}
+		for _, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			total += len(comp)
+		}
+		return total == g.VertexCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk formats are line-oriented and human-editable.
+//
+// Graph database (one or more graphs), gSpan-style:
+//
+//	t # <graphIndex>
+//	v <vertexID> <vertexLabel>
+//	e <u> <v> <edgeLabel>
+//
+// Stream file: a graph section for G_0 followed by timestamp sections:
+//
+//	t # 0
+//	v ... / e ... lines
+//	ts
+//	+ <u> <v> <uLabel> <vLabel> <edgeLabel>
+//	- <u> <v>
+//
+// Each "ts" line starts the change set for the next timestamp.
+
+// WriteGraph writes one graph section with the given index header.
+func WriteGraph(w io.Writer, g *Graph, index int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "t # %d\n", index)
+	for _, v := range g.VertexIDs() {
+		fmt.Fprintf(bw, "v %d %d\n", v, g.MustVertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.Label)
+	}
+	return bw.Flush()
+}
+
+// WriteDatabase writes a sequence of graphs as consecutive sections.
+func WriteDatabase(w io.Writer, graphs []*Graph) error {
+	for i, g := range graphs {
+		if err := WriteGraph(w, g, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDatabase parses a sequence of graph sections.
+func ReadDatabase(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var graphs []*Graph
+	var cur *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "t":
+			cur = New()
+			graphs = append(graphs, cur)
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: vertex before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'v id label'", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			lab, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex line", line)
+			}
+			if err := cur.AddVertex(VertexID(id), Label(lab)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before graph header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'e u v label'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			lab, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge line", line)
+			}
+			if err := cur.AddEdge(VertexID(u), VertexID(v), Label(lab)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return graphs, nil
+}
+
+// WriteStream writes G_0 followed by one "ts" section per change set.
+func WriteStream(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if err := WriteGraph(bw, s.Start, 0); err != nil {
+		return err
+	}
+	for _, cs := range s.Changes {
+		fmt.Fprintln(bw, "ts")
+		for _, op := range cs {
+			switch op.Kind {
+			case OpInsert:
+				fmt.Fprintf(bw, "+ %d %d %d %d %d\n", op.U, op.V, op.ULabel, op.VLabel, op.EdgeLabel)
+			case OpDelete:
+				fmt.Fprintf(bw, "- %d %d\n", op.U, op.V)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream parses a stream file written by WriteStream.
+func ReadStream(r io.Reader) (*Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	s := &Stream{Start: New()}
+	line := 0
+	inChanges := false
+	atoi := func(f string) (int, error) { return strconv.Atoi(f) }
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "t":
+			if inChanges {
+				return nil, fmt.Errorf("graph: line %d: graph header inside stream changes", line)
+			}
+		case "v", "e":
+			if inChanges {
+				return nil, fmt.Errorf("graph: line %d: %s-line inside stream changes", line, fields[0])
+			}
+			if fields[0] == "v" {
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("graph: line %d: want 'v id label'", line)
+				}
+				id, err1 := atoi(fields[1])
+				lab, err2 := atoi(fields[2])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("graph: line %d: bad vertex line", line)
+				}
+				if err := s.Start.AddVertex(VertexID(id), Label(lab)); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %w", line, err)
+				}
+			} else {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("graph: line %d: want 'e u v label'", line)
+				}
+				u, err1 := atoi(fields[1])
+				v, err2 := atoi(fields[2])
+				lab, err3 := atoi(fields[3])
+				if err1 != nil || err2 != nil || err3 != nil {
+					return nil, fmt.Errorf("graph: line %d: bad edge line", line)
+				}
+				if err := s.Start.AddEdge(VertexID(u), VertexID(v), Label(lab)); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %w", line, err)
+				}
+			}
+		case "ts":
+			inChanges = true
+			s.Changes = append(s.Changes, nil)
+		case "+":
+			if !inChanges || len(fields) != 6 {
+				return nil, fmt.Errorf("graph: line %d: want '+ u v ulab vlab elab' after ts", line)
+			}
+			var n [5]int
+			for i := 0; i < 5; i++ {
+				x, err := atoi(fields[i+1])
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad insertion", line)
+				}
+				n[i] = x
+			}
+			t := len(s.Changes) - 1
+			s.Changes[t] = append(s.Changes[t],
+				InsertOp(VertexID(n[0]), Label(n[2]), VertexID(n[1]), Label(n[3]), Label(n[4])))
+		case "-":
+			if !inChanges || len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want '- u v' after ts", line)
+			}
+			u, err1 := atoi(fields[1])
+			v, err2 := atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad deletion", line)
+			}
+			t := len(s.Changes) - 1
+			s.Changes[t] = append(s.Changes[t], DeleteOp(VertexID(u), VertexID(v)))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,146 @@
+package graph
+
+import "fmt"
+
+// OpKind distinguishes edge insertions from edge deletions (Definition 2.4).
+type OpKind uint8
+
+const (
+	// OpInsert inserts an edge (creating absent endpoints as needed).
+	OpInsert OpKind = iota
+	// OpDelete deletes an edge (retiring endpoints that become isolated).
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "ins"
+	case OpDelete:
+		return "del"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// ChangeOp is one edge insertion or deletion, the paper's triple ⟨op, u, v⟩.
+// For insertions the labels of both endpoints and of the edge are carried so
+// that a vertex not yet in the graph can be created; node insertion and
+// deletion are expressed as sets of edge operations per Definition 2.4.
+type ChangeOp struct {
+	Kind      OpKind
+	U, V      VertexID
+	ULabel    Label // used by OpInsert when U is new
+	VLabel    Label // used by OpInsert when V is new
+	EdgeLabel Label // used by OpInsert
+}
+
+func (op ChangeOp) String() string {
+	if op.Kind == OpInsert {
+		return fmt.Sprintf("<ins,%d(%d),%d(%d),%d>", op.U, op.ULabel, op.V, op.VLabel, op.EdgeLabel)
+	}
+	return fmt.Sprintf("<del,%d,%d>", op.U, op.V)
+}
+
+// ChangeSet is one graph change operation GC_t: the edge operations applied
+// between two consecutive timestamps.
+type ChangeSet []ChangeOp
+
+// Normalize returns the set reordered so that all deletions precede all
+// insertions, the processing order Section III-B prescribes. The relative
+// order within each class is preserved.
+func (cs ChangeSet) Normalize() ChangeSet {
+	out := make(ChangeSet, 0, len(cs))
+	for _, op := range cs {
+		if op.Kind == OpDelete {
+			out = append(out, op)
+		}
+	}
+	for _, op := range cs {
+		if op.Kind == OpInsert {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Apply mutates g by one change operation. Insertions create missing
+// endpoint vertices; deletions remove endpoints that become isolated, which
+// keeps the vertex set equal to the set of edge endpoints as in the paper's
+// connected-graph model. Deleting an absent edge is a no-op (the stream may
+// be ahead of a late subscriber).
+func (op ChangeOp) Apply(g *Graph) error {
+	switch op.Kind {
+	case OpInsert:
+		if err := g.AddVertex(op.U, op.ULabel); err != nil {
+			return err
+		}
+		if err := g.AddVertex(op.V, op.VLabel); err != nil {
+			return err
+		}
+		return g.AddEdge(op.U, op.V, op.EdgeLabel)
+	case OpDelete:
+		if !g.RemoveEdge(op.U, op.V) {
+			return nil
+		}
+		if g.Degree(op.U) == 0 {
+			g.RemoveVertex(op.U)
+		}
+		if g.Degree(op.V) == 0 {
+			g.RemoveVertex(op.V)
+		}
+		return nil
+	default:
+		return fmt.Errorf("graph: unknown op kind %d", op.Kind)
+	}
+}
+
+// Apply applies every operation in the set (in the given order) to g.
+func (cs ChangeSet) Apply(g *Graph) error {
+	for _, op := range cs {
+		if err := op.Apply(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertOp builds an insertion op, reading the endpoint and edge labels that
+// an insertion must carry from the post-state described by the arguments.
+func InsertOp(u VertexID, ul Label, v VertexID, vl Label, el Label) ChangeOp {
+	return ChangeOp{Kind: OpInsert, U: u, V: v, ULabel: ul, VLabel: vl, EdgeLabel: el}
+}
+
+// DeleteOp builds a deletion op.
+func DeleteOp(u, v VertexID) ChangeOp {
+	return ChangeOp{Kind: OpDelete, U: u, V: v}
+}
+
+// Diff computes a ChangeSet transforming from into to: deletions for edges
+// only in from, insertions for edges only in to. It assumes shared vertex
+// IDs refer to the same entities (labels of shared vertices must agree).
+func Diff(from, to *Graph) (ChangeSet, error) {
+	var cs ChangeSet
+	for _, e := range from.Edges() {
+		if l, ok := to.EdgeLabel(e.U, e.V); !ok || l != e.Label {
+			cs = append(cs, DeleteOp(e.U, e.V))
+		}
+	}
+	for _, e := range to.Edges() {
+		if l, ok := from.EdgeLabel(e.U, e.V); ok && l == e.Label {
+			continue
+		} else if ok && l != e.Label {
+			// Relabeled edge: Diff emitted the deletion above; re-insert.
+		}
+		ul := to.MustVertexLabel(e.U)
+		vl := to.MustVertexLabel(e.V)
+		if fl, ok := from.VertexLabel(e.U); ok && fl != ul {
+			return nil, fmt.Errorf("graph: Diff: vertex %d relabeled %d→%d", e.U, fl, ul)
+		}
+		if fl, ok := from.VertexLabel(e.V); ok && fl != vl {
+			return nil, fmt.Errorf("graph: Diff: vertex %d relabeled %d→%d", e.V, fl, vl)
+		}
+		cs = append(cs, InsertOp(e.U, ul, e.V, vl, e.Label))
+	}
+	return cs, nil
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// Stream is a graph stream (Definition 2.6): a starting graph G_0 plus the
+// graph change operation stream ΔGC that produces G_1, G_2, … . A Stream is
+// a recorded workload; live consumption goes through Cursor.
+type Stream struct {
+	// Start is G_0. It is not mutated by cursors, which work on a clone.
+	Start *Graph
+	// Changes[t] transforms G_t into G_{t+1}.
+	Changes []ChangeSet
+}
+
+// Timestamps reports the number of graphs in the stream, |{G_0..G_T}|.
+func (s *Stream) Timestamps() int { return len(s.Changes) + 1 }
+
+// At materializes G_t by replaying the stream; it is O(t) and intended for
+// tests and offline analysis, not the hot path.
+func (s *Stream) At(t int) (*Graph, error) {
+	if t < 0 || t >= s.Timestamps() {
+		return nil, fmt.Errorf("graph: timestamp %d out of range [0,%d)", t, s.Timestamps())
+	}
+	g := s.Start.Clone()
+	for i := 0; i < t; i++ {
+		if err := s.Changes[i].Apply(g); err != nil {
+			return nil, fmt.Errorf("graph: replay to t=%d: %w", t, err)
+		}
+	}
+	return g, nil
+}
+
+// Cursor walks a stream one timestamp at a time, maintaining the current
+// graph incrementally.
+type Cursor struct {
+	stream *Stream
+	g      *Graph
+	t      int
+}
+
+// NewCursor positions a cursor at t=0 of s.
+func NewCursor(s *Stream) *Cursor {
+	return &Cursor{stream: s, g: s.Start.Clone()}
+}
+
+// Graph returns the current graph G_t. Callers must not mutate it.
+func (c *Cursor) Graph() *Graph { return c.g }
+
+// Timestamp returns the current t.
+func (c *Cursor) Timestamp() int { return c.t }
+
+// Next advances to the next timestamp, returning the change set that was
+// applied. It returns (nil, false) at the end of the stream.
+func (c *Cursor) Next() (ChangeSet, bool) {
+	if c.t >= len(c.stream.Changes) {
+		return nil, false
+	}
+	cs := c.stream.Changes[c.t]
+	if err := cs.Apply(c.g); err != nil {
+		// A recorded stream that fails to replay is a corrupted workload;
+		// surface loudly rather than silently diverging.
+		panic(fmt.Sprintf("graph: stream replay failed at t=%d: %v", c.t, err))
+	}
+	c.t++
+	return cs, true
+}
+
+// StreamFromSnapshots converts a sequence of graph snapshots into a Stream
+// by diffing consecutive graphs. At least one snapshot is required.
+func StreamFromSnapshots(snaps []*Graph) (*Stream, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("graph: no snapshots")
+	}
+	s := &Stream{Start: snaps[0].Clone()}
+	for i := 1; i < len(snaps); i++ {
+		cs, err := Diff(snaps[i-1], snaps[i])
+		if err != nil {
+			return nil, fmt.Errorf("graph: diff snapshot %d→%d: %w", i-1, i, err)
+		}
+		s.Changes = append(s.Changes, cs.Normalize())
+	}
+	return s, nil
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func lineStream(t *testing.T) *Stream {
+	t.Helper()
+	g0 := New()
+	mustAddVertex(t, g0, 0, 1)
+	mustAddVertex(t, g0, 1, 2)
+	mustAddEdge(t, g0, 0, 1, 0)
+	return &Stream{
+		Start: g0,
+		Changes: []ChangeSet{
+			{InsertOp(1, 2, 2, 3, 0)},                 // t1: extend the path
+			{DeleteOp(0, 1)},                          // t2: drop the first edge
+			{InsertOp(2, 3, 0, 1, 0), DeleteOp(1, 2)}, // t3: rewire
+		},
+	}
+}
+
+func TestStreamAt(t *testing.T) {
+	s := lineStream(t)
+	if s.Timestamps() != 4 {
+		t.Fatalf("Timestamps = %d; want 4", s.Timestamps())
+	}
+	g0, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g0.Equal(s.Start) {
+		t.Fatal("At(0) differs from Start")
+	}
+	g1, err := s.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.EdgeCount() != 2 || !g1.HasEdge(1, 2) {
+		t.Fatalf("At(1) = %v", g1)
+	}
+	g3, err := s.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.EdgeCount() != 1 || !g3.HasEdge(0, 2) {
+		t.Fatalf("At(3) = %v", g3)
+	}
+	if _, err := s.At(4); err == nil {
+		t.Fatal("At(4) should be out of range")
+	}
+	if _, err := s.At(-1); err == nil {
+		t.Fatal("At(-1) should be out of range")
+	}
+}
+
+func TestCursorWalksWholeStream(t *testing.T) {
+	s := lineStream(t)
+	c := NewCursor(s)
+	if c.Timestamp() != 0 {
+		t.Fatalf("initial timestamp = %d", c.Timestamp())
+	}
+	steps := 0
+	for {
+		_, ok := c.Next()
+		if !ok {
+			break
+		}
+		steps++
+		want, err := s.At(c.Timestamp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Graph().Equal(want) {
+			t.Fatalf("cursor graph at t=%d diverges from replay", c.Timestamp())
+		}
+	}
+	if steps != 3 {
+		t.Fatalf("cursor took %d steps; want 3", steps)
+	}
+	// Cursor does not mutate the recorded start graph.
+	if s.Start.EdgeCount() != 1 {
+		t.Fatal("cursor mutated Stream.Start")
+	}
+}
+
+func TestStreamFromSnapshots(t *testing.T) {
+	s := lineStream(t)
+	var snaps []*Graph
+	for i := 0; i < s.Timestamps(); i++ {
+		g, err := s.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, g)
+	}
+	s2, err := StreamFromSnapshots(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Timestamps(); i++ {
+		want, _ := s.At(i)
+		got, err := s2.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare edge structure (isolated vertices may be retired).
+		we, ge := want.Edges(), got.Edges()
+		if len(we) != len(ge) {
+			t.Fatalf("t=%d: %d edges vs %d", i, len(ge), len(we))
+		}
+		for j := range we {
+			if we[j] != ge[j] {
+				t.Fatalf("t=%d: edge %d: %v vs %v", i, j, ge[j], we[j])
+			}
+		}
+	}
+	if _, err := StreamFromSnapshots(nil); err == nil {
+		t.Fatal("empty snapshot list should error")
+	}
+}
+
+func TestStreamIORoundTrip(t *testing.T) {
+	s := lineStream(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Timestamps() != s.Timestamps() {
+		t.Fatalf("timestamps %d != %d", s2.Timestamps(), s.Timestamps())
+	}
+	for i := 0; i < s.Timestamps(); i++ {
+		a, _ := s.At(i)
+		b, err := s2.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("t=%d differs after round trip", i)
+		}
+	}
+}
+
+func TestDatabaseIORoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var graphs []*Graph
+	for i := 0; i < 5; i++ {
+		graphs = append(graphs, randomGraph(r, 3+r.Intn(10), 4, 0.4))
+	}
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, graphs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(graphs) {
+		t.Fatalf("read %d graphs; want %d", len(got), len(graphs))
+	}
+	for i := range graphs {
+		if !graphs[i].Equal(got[i]) {
+			t.Fatalf("graph %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	cases := []string{
+		"v 0 1\n",                 // vertex before header
+		"t # 0\nv 0\n",            // short vertex line
+		"t # 0\ne 0 1 2\nv 0 1\n", // edge to absent vertices
+		"t # 0\nx what\n",         // unknown directive
+	}
+	for i, c := range cases {
+		if _, err := ReadDatabase(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	cases := []string{
+		"ts\nv 0 1\n",   // graph line after ts
+		"+ 0 1 0 0 0\n", // change before ts
+		"ts\n+ 0 1\n",   // short insertion
+		"ts\n- 0\n",     // short deletion
+	}
+	for i, c := range cases {
+		if _, err := ReadStream(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	a := NewAlphabet()
+	c := a.Intern("C")
+	o := a.Intern("O")
+	if c == o {
+		t.Fatal("distinct names interned to same label")
+	}
+	if again := a.Intern("C"); again != c {
+		t.Fatal("re-intern returned different label")
+	}
+	if got, ok := a.Lookup("O"); !ok || got != o {
+		t.Fatal("Lookup(O) failed")
+	}
+	if _, ok := a.Lookup("N"); ok {
+		t.Fatal("Lookup of absent name succeeded")
+	}
+	if a.Name(c) != "C" || a.Name(Label(99)) != "#99" {
+		t.Fatal("Name rendering wrong")
+	}
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d; want 2", a.Size())
+	}
+}

@@ -1,0 +1,304 @@
+// Package iso implements exact subgraph isomorphism checking (Definition 2.3
+// of the paper): an injective mapping from query vertices to data vertices
+// that preserves vertex labels and maps every query edge onto a data edge
+// with the same label. Extra edges in the data graph are allowed (non-induced
+// matching), which is the semantics of subgraph search in graph databases.
+//
+// The matcher is a VF2-style backtracking search with connectivity-driven
+// candidate ordering, label-frequency pruning, and degree pruning. It serves
+// as the ground truth against which the paper's approximate filters are
+// evaluated, and as the containment test inside the gIndex baseline.
+package iso
+
+import (
+	"sort"
+
+	"nntstream/internal/graph"
+)
+
+// Matcher performs subgraph isomorphism checks of one query graph against
+// many data graphs. It precomputes a matching order for the query once.
+type Matcher struct {
+	q       *graph.Graph
+	order   []graph.VertexID // query vertices in matching order
+	anchors []anchor         // for order[i]: previously-matched neighbors
+	qdeg    map[graph.VertexID]int
+	labels  map[graph.Label]int // query vertex label histogram
+	// limit bounds the number of search-tree nodes explored before giving
+	// up and reporting "contained" conservatively; 0 means unlimited.
+	limit int
+}
+
+// anchor records, for a query vertex about to be matched, one or more
+// already-matched neighbors with the connecting edge labels. Every candidate
+// data vertex must be adjacent to the images of all anchors.
+type anchor struct {
+	neighbors []graph.VertexID
+	edges     []graph.Label
+}
+
+// Option configures a Matcher.
+type Option func(*Matcher)
+
+// WithNodeLimit bounds the number of explored search nodes per Contains
+// call. When the limit is hit the matcher reports true (a false positive is
+// admissible for a filter; a false negative is not). The default is
+// unlimited.
+func WithNodeLimit(n int) Option {
+	return func(m *Matcher) { m.limit = n }
+}
+
+// NewMatcher prepares a matcher for query q.
+func NewMatcher(q *graph.Graph, opts ...Option) *Matcher {
+	m := &Matcher{
+		q:      q,
+		qdeg:   make(map[graph.VertexID]int, q.VertexCount()),
+		labels: q.LabelHistogram(),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	q.Vertices(func(v graph.VertexID, _ graph.Label) bool {
+		m.qdeg[v] = q.Degree(v)
+		return true
+	})
+	m.buildOrder()
+	return m
+}
+
+// buildOrder picks a connected matching order: start from the highest-degree
+// vertex, then repeatedly take the unmatched vertex with the most matched
+// neighbors (ties: higher degree). Disconnected queries continue with the
+// next unvisited component.
+func (m *Matcher) buildOrder() {
+	n := m.q.VertexCount()
+	m.order = make([]graph.VertexID, 0, n)
+	m.anchors = make([]anchor, 0, n)
+	inOrder := make(map[graph.VertexID]bool, n)
+	ids := m.q.VertexIDs()
+
+	for len(m.order) < n {
+		// Seed: among vertices not yet ordered, highest degree.
+		var seed graph.VertexID
+		found := false
+		for _, v := range ids {
+			if inOrder[v] {
+				continue
+			}
+			if !found || m.qdeg[v] > m.qdeg[seed] {
+				seed, found = v, true
+			}
+		}
+		frontier := []graph.VertexID{seed}
+		for len(frontier) > 0 {
+			// Pick the frontier vertex with most ordered neighbors.
+			best := -1
+			bestScore := -1
+			for i, v := range frontier {
+				score := 0
+				m.q.Neighbors(v, func(u graph.VertexID, _ graph.Label) bool {
+					if inOrder[u] {
+						score++
+					}
+					return true
+				})
+				score = score*1000 + m.qdeg[v]
+				if score > bestScore {
+					best, bestScore = i, score
+				}
+			}
+			v := frontier[best]
+			frontier = append(frontier[:best], frontier[best+1:]...)
+			if inOrder[v] {
+				continue
+			}
+			inOrder[v] = true
+			var a anchor
+			m.q.Neighbors(v, func(u graph.VertexID, el graph.Label) bool {
+				if inOrder[u] && u != v {
+					a.neighbors = append(a.neighbors, u)
+					a.edges = append(a.edges, el)
+				} else if !inOrder[u] {
+					frontier = append(frontier, u)
+				}
+				return true
+			})
+			m.order = append(m.order, v)
+			m.anchors = append(m.anchors, a)
+		}
+	}
+}
+
+// Contains reports whether the query is subgraph-isomorphic to g. When a
+// node limit is configured and tripped, it reports true conservatively.
+func (m *Matcher) Contains(g *graph.Graph) bool {
+	found := false
+	limited := m.search(g, func(map[graph.VertexID]graph.VertexID) bool {
+		found = true
+		return false // stop at first embedding
+	})
+	return found || limited
+}
+
+// FirstEmbedding returns one query→data vertex mapping, or nil when the
+// query is not contained in g.
+func (m *Matcher) FirstEmbedding(g *graph.Graph) map[graph.VertexID]graph.VertexID {
+	var out map[graph.VertexID]graph.VertexID
+	m.search(g, func(emb map[graph.VertexID]graph.VertexID) bool {
+		out = make(map[graph.VertexID]graph.VertexID, len(emb))
+		for k, v := range emb {
+			out[k] = v
+		}
+		return false
+	})
+	return out
+}
+
+// CountEmbeddings returns the number of distinct embeddings, up to max
+// (0 = unlimited). Distinct means distinct vertex mappings; automorphic
+// images count separately.
+func (m *Matcher) CountEmbeddings(g *graph.Graph, max int) int {
+	count := 0
+	m.search(g, func(map[graph.VertexID]graph.VertexID) bool {
+		count++
+		return max == 0 || count < max
+	})
+	return count
+}
+
+// search runs the backtracking match, invoking yield for every embedding.
+// yield returning false stops the search. The return value reports whether
+// the node limit tripped before the search space was exhausted.
+func (m *Matcher) search(g *graph.Graph, yield func(map[graph.VertexID]graph.VertexID) bool) bool {
+	if m.q.VertexCount() == 0 {
+		yield(map[graph.VertexID]graph.VertexID{})
+		return false
+	}
+	if m.q.VertexCount() > g.VertexCount() || m.q.EdgeCount() > g.EdgeCount() {
+		return false
+	}
+	// Label-frequency pruning: g must carry at least as many vertices of
+	// each label as q does.
+	ghist := g.LabelHistogram()
+	for l, c := range m.labels {
+		if ghist[l] < c {
+			return false
+		}
+	}
+
+	st := &searchState{
+		m:       m,
+		g:       g,
+		mapping: make(map[graph.VertexID]graph.VertexID, m.q.VertexCount()),
+		used:    make(map[graph.VertexID]bool, m.q.VertexCount()),
+		yield:   yield,
+	}
+	st.match(0)
+	return st.limited
+}
+
+type searchState struct {
+	m       *Matcher
+	g       *graph.Graph
+	mapping map[graph.VertexID]graph.VertexID
+	used    map[graph.VertexID]bool
+	yield   func(map[graph.VertexID]graph.VertexID) bool
+	nodes   int
+	stop    bool
+	// limited is set when the node limit tripped; the caller treats the
+	// result conservatively.
+	limited bool
+}
+
+func (st *searchState) match(depth int) {
+	if st.stop {
+		return
+	}
+	if st.m.limit > 0 {
+		st.nodes++
+		if st.nodes > st.m.limit {
+			// Bail out; the caller treats a tripped limit conservatively
+			// (Contains reports true so no potential answer is dropped).
+			st.limited = true
+			st.stop = true
+			return
+		}
+	}
+	if depth == len(st.m.order) {
+		if !st.yield(st.mapping) {
+			st.stop = true
+		}
+		return
+	}
+	qv := st.m.order[depth]
+	qlabel := st.m.q.MustVertexLabel(qv)
+	a := st.m.anchors[depth]
+
+	try := func(gv graph.VertexID) {
+		if st.stop || st.used[gv] {
+			return
+		}
+		if l, ok := st.g.VertexLabel(gv); !ok || l != qlabel {
+			return
+		}
+		if st.g.Degree(gv) < st.m.qdeg[qv] {
+			return
+		}
+		// All anchor edges must exist with matching labels.
+		for i, qn := range a.neighbors {
+			gl, ok := st.g.EdgeLabel(gv, st.mapping[qn])
+			if !ok || gl != a.edges[i] {
+				return
+			}
+		}
+		st.mapping[qv] = gv
+		st.used[gv] = true
+		st.match(depth + 1)
+		delete(st.mapping, qv)
+		delete(st.used, gv)
+	}
+
+	if len(a.neighbors) > 0 {
+		// Candidates are the neighbors of the image of the first anchor —
+		// usually a tiny set.
+		first := st.mapping[a.neighbors[0]]
+		wantEdge := a.edges[0]
+		// Iterate deterministically for reproducible embeddings.
+		for _, e := range st.g.NeighborsSorted(first) {
+			if e.Label != wantEdge {
+				continue
+			}
+			try(e.V)
+			if st.stop {
+				return
+			}
+		}
+		return
+	}
+	// No anchors (first vertex of a component): scan all data vertices.
+	for _, gv := range st.g.VertexIDs() {
+		try(gv)
+		if st.stop {
+			return
+		}
+	}
+}
+
+// Contains is a convenience wrapper for one-shot checks.
+func Contains(q, g *graph.Graph) bool {
+	return NewMatcher(q).Contains(g)
+}
+
+// FilterDatabase returns the indexes of graphs in db that contain q,
+// ascending.
+func FilterDatabase(q *graph.Graph, db []*graph.Graph) []int {
+	m := NewMatcher(q)
+	var out []int
+	for i, g := range db {
+		if m.Contains(g) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

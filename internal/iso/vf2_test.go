@@ -1,0 +1,283 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nntstream/internal/graph"
+)
+
+// bruteContains is an exhaustive reference: it tries every injective mapping
+// of query vertices to data vertices. Only usable for tiny queries.
+func bruteContains(q, g *graph.Graph) bool {
+	qs := q.VertexIDs()
+	gs := g.VertexIDs()
+	if len(qs) > len(gs) {
+		return false
+	}
+	used := make(map[graph.VertexID]bool)
+	mapping := make(map[graph.VertexID]graph.VertexID)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(qs) {
+			return true
+		}
+		qv := qs[i]
+		ql := q.MustVertexLabel(qv)
+		for _, gv := range gs {
+			if used[gv] {
+				continue
+			}
+			if g.MustVertexLabel(gv) != ql {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				pv := qs[j]
+				if el, has := q.EdgeLabel(qv, pv); has {
+					gl, ghas := g.EdgeLabel(gv, mapping[pv])
+					if !ghas || gl != el {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[gv] = true
+			mapping[qv] = gv
+			if rec(i + 1) {
+				return true
+			}
+			delete(used, gv)
+			delete(mapping, qv)
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func buildGraph(t *testing.T, vlabels map[graph.VertexID]graph.Label, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for v, l := range vlabels {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]), graph.Label(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestContainsBasic(t *testing.T) {
+	// Data: labeled path A-B-C with a pendant B.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1, 3: 2, 4: 1},
+		[][3]int{{1, 2, 0}, {2, 3, 0}, {3, 4, 0}})
+	// Query: A-B edge.
+	q1 := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1}, [][3]int{{10, 11, 0}})
+	if !Contains(q1, g) {
+		t.Fatal("A-B should be contained")
+	}
+	// Query: A-C edge (absent).
+	q2 := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 2}, [][3]int{{10, 11, 0}})
+	if Contains(q2, g) {
+		t.Fatal("A-C should not be contained")
+	}
+	// Wrong edge label.
+	q3 := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1}, [][3]int{{10, 11, 7}})
+	if Contains(q3, g) {
+		t.Fatal("edge label must match")
+	}
+}
+
+func TestContainsNonInduced(t *testing.T) {
+	// Data: triangle; query: path of 3. Non-induced matching must succeed
+	// even though the data has an extra edge between the path's endpoints.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 0, 3: 0},
+		[][3]int{{1, 2, 0}, {2, 3, 0}, {1, 3, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 0, 3: 0},
+		[][3]int{{1, 2, 0}, {2, 3, 0}})
+	if !Contains(q, g) {
+		t.Fatal("path-3 should embed into triangle (non-induced)")
+	}
+	// The converse fails: triangle does not embed into path-3.
+	if Contains(g, q) {
+		t.Fatal("triangle should not embed into path-3")
+	}
+}
+
+func TestContainsInjective(t *testing.T) {
+	// Query needs two distinct A vertices; data has only one.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1},
+		[][3]int{{1, 2, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1, 3: 0},
+		[][3]int{{1, 2, 0}, {2, 3, 0}})
+	if Contains(q, g) {
+		t.Fatal("mapping must be injective")
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0}, nil)
+	if !Contains(graph.New(), g) {
+		t.Fatal("empty query is contained in everything")
+	}
+}
+
+func TestDisconnectedQuery(t *testing.T) {
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1, 3: 0, 4: 1},
+		[][3]int{{1, 2, 0}, {3, 4, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1, 20: 0, 21: 1},
+		[][3]int{{10, 11, 0}, {20, 21, 0}})
+	if !Contains(q, g) {
+		t.Fatal("disconnected query with two A-B edges should match")
+	}
+	// Remove one data edge: only one A-B edge left, injectivity fails.
+	g.RemoveEdge(3, 4)
+	if Contains(q, g) {
+		t.Fatal("two disjoint A-B edges cannot embed into one")
+	}
+}
+
+func TestFirstEmbeddingIsValid(t *testing.T) {
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1, 3: 2, 4: 1},
+		[][3]int{{1, 2, 0}, {2, 3, 1}, {3, 4, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{10: 1, 11: 2}, [][3]int{{10, 11, 1}})
+	emb := NewMatcher(q).FirstEmbedding(g)
+	if emb == nil {
+		t.Fatal("embedding expected")
+	}
+	if len(emb) != 2 {
+		t.Fatalf("embedding has %d entries; want 2", len(emb))
+	}
+	for qv, gv := range emb {
+		if q.MustVertexLabel(qv) != g.MustVertexLabel(gv) {
+			t.Fatal("embedding violates vertex labels")
+		}
+	}
+	gl, ok := g.EdgeLabel(emb[10], emb[11])
+	if !ok || gl != 1 {
+		t.Fatal("embedding violates edge")
+	}
+	// No embedding case.
+	q2 := buildGraph(t, map[graph.VertexID]graph.Label{10: 1, 11: 1}, [][3]int{{10, 11, 0}})
+	if NewMatcher(q2).FirstEmbedding(g) != nil {
+		t.Fatal("no embedding expected")
+	}
+}
+
+func TestCountEmbeddings(t *testing.T) {
+	// Star: center A with three B leaves; query A-B has 3 embeddings.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1, 3: 1, 4: 1},
+		[][3]int{{1, 2, 0}, {1, 3, 0}, {1, 4, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1}, [][3]int{{10, 11, 0}})
+	if n := NewMatcher(q).CountEmbeddings(g, 0); n != 3 {
+		t.Fatalf("CountEmbeddings = %d; want 3", n)
+	}
+	if n := NewMatcher(q).CountEmbeddings(g, 2); n != 2 {
+		t.Fatalf("CountEmbeddings capped = %d; want 2", n)
+	}
+}
+
+func TestNodeLimitConservative(t *testing.T) {
+	// A hard instance: large unlabeled clique-ish graph. With a tiny node
+	// budget the matcher must report true (conservative), never false.
+	r := rand.New(rand.NewSource(1))
+	g := graph.New()
+	for i := 0; i < 20; i++ {
+		_ = g.AddVertex(graph.VertexID(i), 0)
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if r.Float64() < 0.5 {
+				_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+			}
+		}
+	}
+	// Query: 8-clique, almost surely absent, expensive to refute.
+	q := graph.New()
+	for i := 0; i < 8; i++ {
+		_ = q.AddVertex(graph.VertexID(i), 0)
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			_ = q.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+		}
+	}
+	m := NewMatcher(q, WithNodeLimit(10))
+	if !m.Contains(g) {
+		t.Fatal("limited matcher must answer conservatively (true)")
+	}
+}
+
+func TestFilterDatabase(t *testing.T) {
+	q := buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1}, [][3]int{{1, 2, 0}})
+	db := []*graph.Graph{
+		buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 1}, [][3]int{{1, 2, 0}}),
+		buildGraph(t, map[graph.VertexID]graph.Label{1: 0, 2: 2}, [][3]int{{1, 2, 0}}),
+		buildGraph(t, map[graph.VertexID]graph.Label{1: 1, 2: 0, 3: 1}, [][3]int{{1, 2, 0}, {2, 3, 0}}),
+	}
+	got := FilterDatabase(q, db)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("FilterDatabase = %v; want [0 2]", got)
+	}
+}
+
+func randomLabeledGraph(r *rand.Rand, n, labels int, p float64) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		_ = g.AddVertex(graph.VertexID(i), graph.Label(r.Intn(labels)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), graph.Label(r.Intn(2)))
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickAgainstBruteForce cross-checks VF2 with the exhaustive matcher on
+// random small instances.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLabeledGraph(r, 4+r.Intn(6), 2, 0.45)
+		q := randomLabeledGraph(r, 2+r.Intn(4), 2, 0.5)
+		return Contains(q, g) == bruteContains(q, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubgraphAlwaysContained extracts an actual subgraph and verifies
+// Contains never reports a false negative.
+func TestQuickSubgraphAlwaysContained(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLabeledGraph(r, 6+r.Intn(10), 3, 0.35)
+		// Random subgraph: pick a subset of vertices and a subset of the
+		// induced edges.
+		ids := g.VertexIDs()
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		keep := ids[:1+r.Intn(len(ids))]
+		sub := g.InducedSubgraph(keep)
+		for _, e := range sub.Edges() {
+			if r.Float64() < 0.3 {
+				sub.RemoveEdge(e.U, e.V)
+			}
+		}
+		return Contains(sub, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

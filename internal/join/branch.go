@@ -1,0 +1,155 @@
+package join
+
+import (
+	"fmt"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/nnt"
+)
+
+// Branch is the branch-compatible NNT filter of Lemma 4.1, without the NPV
+// projection: a pair (G,Q) is a candidate iff every query vertex's NNT is
+// branch-compatible with some stream vertex's NNT. It prunes differently
+// from the projected filters — branch compatibility tracks label-path sets
+// while NPV dominance tracks per-dimension multiplicities — and is more
+// expensive per comparison, which is exactly the trade-off Section IV's
+// projection was designed around. It exists for the ablation experiment.
+type Branch struct {
+	depth   int
+	queries map[core.QueryID][]*nnt.Node
+	streams map[core.StreamID]*branchStream
+}
+
+type branchStream struct {
+	st *streamState
+	// tries caches the label trie of each stream vertex's NNT; entries of
+	// dirty vertices are rebuilt lazily.
+	tries   map[graph.VertexID]*nnt.Trie
+	verdict map[core.QueryID]bool
+}
+
+var _ core.DynamicFilter = (*Branch)(nil)
+
+// NewBranch returns a branch-compatibility filter with the given NNT depth.
+func NewBranch(depth int) *Branch {
+	return &Branch{
+		depth:   depth,
+		queries: make(map[core.QueryID][]*nnt.Node),
+		streams: make(map[core.StreamID]*branchStream),
+	}
+}
+
+// Name implements core.Filter.
+func (f *Branch) Name() string { return "NNT-Branch" }
+
+// AddQuery implements core.Filter.
+func (f *Branch) AddQuery(id core.QueryID, q *graph.Graph) error {
+	if _, ok := f.queries[id]; ok {
+		return fmt.Errorf("join: duplicate query %d", id)
+	}
+	forest := nnt.NewForest(q, f.depth)
+	var roots []*nnt.Node
+	forest.Roots(func(_ graph.VertexID, root *nnt.Node) bool {
+		roots = append(roots, root)
+		return true
+	})
+	f.queries[id] = roots
+	for _, bs := range f.streams {
+		bs.verdict[id] = f.evaluateOne(bs, roots)
+	}
+	return nil
+}
+
+// RemoveQuery implements core.DynamicFilter.
+func (f *Branch) RemoveQuery(id core.QueryID) error {
+	if _, ok := f.queries[id]; !ok {
+		return fmt.Errorf("join: unknown query %d", id)
+	}
+	delete(f.queries, id)
+	for _, bs := range f.streams {
+		delete(bs.verdict, id)
+	}
+	return nil
+}
+
+// AddStream implements core.Filter.
+func (f *Branch) AddStream(id core.StreamID, g0 *graph.Graph) error {
+	if _, ok := f.streams[id]; ok {
+		return fmt.Errorf("join: duplicate stream %d", id)
+	}
+	bs := &branchStream{
+		st:      newStreamState(g0, f.depth),
+		tries:   make(map[graph.VertexID]*nnt.Trie),
+		verdict: make(map[core.QueryID]bool, len(f.queries)),
+	}
+	f.streams[id] = bs
+	bs.st.space.TakeDirty()
+	f.evaluate(bs)
+	return nil
+}
+
+// Apply implements core.Filter.
+func (f *Branch) Apply(id core.StreamID, cs graph.ChangeSet) error {
+	bs, ok := f.streams[id]
+	if !ok {
+		return fmt.Errorf("join: unknown stream %d", id)
+	}
+	if err := bs.st.apply(cs); err != nil {
+		return err
+	}
+	dirty := bs.st.space.TakeDirty()
+	if len(dirty) == 0 {
+		return nil
+	}
+	for _, v := range dirty {
+		delete(bs.tries, v) // rebuilt lazily on next probe
+	}
+	f.evaluate(bs)
+	return nil
+}
+
+func (f *Branch) trie(bs *branchStream, v graph.VertexID, root *nnt.Node) *nnt.Trie {
+	t, ok := bs.tries[v]
+	if !ok {
+		t = nnt.BuildTrie(root)
+		bs.tries[v] = t
+	}
+	return t
+}
+
+func (f *Branch) evaluate(bs *branchStream) {
+	for qid, qroots := range f.queries {
+		bs.verdict[qid] = f.evaluateOne(bs, qroots)
+	}
+}
+
+func (f *Branch) evaluateOne(bs *branchStream, qroots []*nnt.Node) bool {
+	for _, qr := range qroots {
+		found := false
+		bs.st.forest.Roots(func(v graph.VertexID, root *nnt.Node) bool {
+			if f.trie(bs, v, root).ContainsBranches(qr) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates implements core.Filter.
+func (f *Branch) Candidates() []core.Pair {
+	var out []core.Pair
+	for sid, bs := range f.streams {
+		for qid, ok := range bs.verdict {
+			if ok {
+				out = append(out, core.Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return core.SortPairs(out)
+}

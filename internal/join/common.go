@@ -1,0 +1,79 @@
+// Package join implements the paper's three strategies for continuously
+// joining graph streams with query patterns in the projected vector space
+// (Section IV-B):
+//
+//   - NL: the nested-loop baseline, re-checking dominance pair by pair for
+//     every changed stream.
+//   - DSC: the dominated-set-cover method (Figure 8), which keeps position
+//     and dominant counters per stream vertex so one NPV change touches only
+//     the sorted-dimension entries it crosses.
+//   - Skyline: the skyline-with-early-stop method (Figure 11), which checks
+//     only the maximal query vectors, prunes via per-dimension max values,
+//     and probes the lowest-cardinality dimension first.
+//
+// All three report a pair (G,Q) as possibly joinable iff every query vertex
+// NPV is dominated by some stream vertex NPV (Lemma 4.2); they differ only
+// in how that condition is maintained, so their candidate sets are
+// identical — a property the tests enforce.
+//
+// The package also provides the branch-compatible NNT filter (Lemma 4.1,
+// used for the ablation study) and the exact VF2 filter (ground truth).
+package join
+
+import (
+	"fmt"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/nnt"
+	"nntstream/internal/npv"
+)
+
+// DefaultDepth is the NNT depth bound used when callers do not override it;
+// the paper's Figure 12 finds depth 3 sufficient for effective filtering.
+const DefaultDepth = 3
+
+// streamState bundles the incrementally maintained feature structures of
+// one stream: its NNT forest and the projected vector space observing it.
+type streamState struct {
+	forest *nnt.Forest
+	space  *npv.Space
+}
+
+func newStreamState(g0 *graph.Graph, depth int) *streamState {
+	space := npv.NewSpace()
+	return &streamState{
+		forest: nnt.NewForest(g0, depth, space),
+		space:  space,
+	}
+}
+
+func (s *streamState) apply(cs graph.ChangeSet) error {
+	return s.forest.ApplySet(cs)
+}
+
+// qKey identifies one query vertex across all registered queries.
+type qKey struct {
+	Q core.QueryID
+	V graph.VertexID
+}
+
+func (k qKey) String() string { return fmt.Sprintf("Q%d/%d", k.Q, k.V) }
+
+// projectQuery computes the per-vertex NPVs of a static query graph.
+func projectQuery(q *graph.Graph, depth int) map[graph.VertexID]npv.Vector {
+	return npv.ProjectGraph(q, depth)
+}
+
+// dominatedByAny reports whether any vector in the space dominates u.
+func dominatedByAny(space *npv.Space, u npv.Vector) bool {
+	found := false
+	space.Vectors(func(_ graph.VertexID, vec npv.Vector) bool {
+		if vec.Dominates(u) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,373 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// DSC is the dominated-set-cover join (Figure 8). Query vectors are
+// projected onto their nonzero dimensions and kept sorted per dimension.
+// Every stream vertex carries a position counter per dimension (how many
+// query entries it is ≥ in that dimension) and a dominant counter per query
+// vertex it has encountered (in how many of that query vertex's nonzero
+// dimensions the stream vertex dominates it). A stream vertex fully
+// dominates a query vertex when its dominant counter reaches the query
+// vertex's nonzero-dimension count. The pair (G,Q) is a candidate when the
+// union of query vertices fully dominated by G's vertices covers Q
+// (Theorem 4.1).
+//
+// The stream-side state is updated incrementally: when a vertex's NPV moves
+// in a dimension, only the sorted entries between its old and new position
+// are touched — the paper's key efficiency argument for stream settings.
+type DSC struct {
+	depth  int
+	sealed bool
+	// cols holds, per dimension, the query-vertex entries sorted by value.
+	cols map[npv.Dim]*dscColumn
+	// nnz is the nonzero-dimension count per query vertex; query vertices
+	// with empty vectors (no edges) are trivially dominated and excluded.
+	nnz map[qKey]int
+	// qvecs keeps each query vertex's vector so dynamic removal can undo
+	// its column entries and position-counter contributions.
+	qvecs map[qKey]npv.Vector
+	// qsize counts the query vertices that must be covered per query.
+	qsize   map[core.QueryID]int
+	streams map[core.StreamID]*dscStream
+}
+
+type dscColumn struct {
+	entries []dscEntry // sorted by value ascending
+}
+
+type dscEntry struct {
+	key   qKey
+	value int32
+}
+
+type dscStream struct {
+	st *streamState
+	// pos[v][d]: number of entries of cols[d] with value ≤ v's count in d.
+	pos map[graph.VertexID]map[npv.Dim]int
+	// dom[v][k]: in how many of k's nonzero dimensions v dominates k.
+	dom map[graph.VertexID]map[qKey]int
+	// cover[k]: how many stream vertices fully dominate query vertex k.
+	cover map[qKey]int
+	// covered[q]: how many of q's query vertices have cover > 0.
+	covered map[core.QueryID]int
+}
+
+var _ core.DynamicFilter = (*DSC)(nil)
+
+// NewDSC returns a dominated-set-cover filter with the given NNT depth.
+func NewDSC(depth int) *DSC {
+	return &DSC{
+		depth:   depth,
+		cols:    make(map[npv.Dim]*dscColumn),
+		nnz:     make(map[qKey]int),
+		qvecs:   make(map[qKey]npv.Vector),
+		qsize:   make(map[core.QueryID]int),
+		streams: make(map[core.StreamID]*dscStream),
+	}
+}
+
+// Name implements core.Filter.
+func (f *DSC) Name() string { return "NPV-DSC" }
+
+// AddQuery implements core.Filter. Before the first stream, entries are
+// batched and sorted once; afterwards (core.DynamicFilter) each entry is
+// inserted into its sorted column and every stream's counters are fixed up
+// in place.
+func (f *DSC) AddQuery(id core.QueryID, q *graph.Graph) error {
+	if _, ok := f.qsize[id]; ok {
+		return fmt.Errorf("join: duplicate query %d", id)
+	}
+	size := 0
+	for v, vec := range projectQuery(q, f.depth) {
+		if len(vec) == 0 {
+			continue // trivially dominated (isolated query vertex)
+		}
+		k := qKey{Q: id, V: v}
+		f.nnz[k] = len(vec)
+		f.qvecs[k] = vec
+		size++
+		for d, c := range vec {
+			col, ok := f.cols[d]
+			if !ok {
+				col = &dscColumn{}
+				f.cols[d] = col
+			}
+			if !f.sealed {
+				col.entries = append(col.entries, dscEntry{key: k, value: c})
+				continue
+			}
+			// Live insert at the sorted position.
+			idx := upperBound(col.entries, c)
+			col.entries = append(col.entries, dscEntry{})
+			copy(col.entries[idx+1:], col.entries[idx:])
+			col.entries[idx] = dscEntry{key: k, value: c}
+		}
+		if f.sealed {
+			for _, ds := range f.streams {
+				f.attachQueryVertex(ds, k, vec)
+			}
+		}
+	}
+	f.qsize[id] = size
+	return nil
+}
+
+// attachQueryVertex registers a live-added query vertex with one stream:
+// every stream vertex's position counters gain the new column entries they
+// are ≥ of, and its dominant counter for the new key is derived directly.
+func (f *DSC) attachQueryVertex(ds *dscStream, k qKey, vec npv.Vector) {
+	ds.st.space.Vectors(func(v graph.VertexID, vvec npv.Vector) bool {
+		cnt := 0
+		for d, c := range vec {
+			if vvec.Get(d) >= c {
+				cnt++
+				pos := ds.pos[v]
+				if pos == nil {
+					pos = make(map[npv.Dim]int)
+					ds.pos[v] = pos
+				}
+				pos[d]++
+			}
+		}
+		if cnt > 0 {
+			dom := ds.dom[v]
+			if dom == nil {
+				dom = make(map[qKey]int)
+				ds.dom[v] = dom
+			}
+			dom[k] = cnt
+			if cnt == f.nnz[k] {
+				ds.cover[k]++
+				if ds.cover[k] == 1 {
+					ds.covered[k.Q]++
+				}
+			}
+		}
+		return true
+	})
+}
+
+// RemoveQuery implements core.DynamicFilter: the query's column entries are
+// deleted, stream position counters are rolled back, and its cover state is
+// dropped wholesale.
+func (f *DSC) RemoveQuery(id core.QueryID) error {
+	if _, ok := f.qsize[id]; !ok {
+		return fmt.Errorf("join: unknown query %d", id)
+	}
+	for k, vec := range f.qvecs {
+		if k.Q != id {
+			continue
+		}
+		for d, c := range vec {
+			col := f.cols[d]
+			for i := range col.entries {
+				if col.entries[i].key == k {
+					col.entries = append(col.entries[:i], col.entries[i+1:]...)
+					break
+				}
+			}
+			if len(col.entries) == 0 {
+				delete(f.cols, d)
+			}
+			for _, ds := range f.streams {
+				f.rollbackPositions(ds, d, c)
+			}
+		}
+		for _, ds := range f.streams {
+			for v, dom := range ds.dom {
+				if _, ok := dom[k]; ok {
+					delete(dom, k)
+					if len(dom) == 0 {
+						delete(ds.dom, v)
+					}
+				}
+			}
+			delete(ds.cover, k)
+		}
+		delete(f.nnz, k)
+		delete(f.qvecs, k)
+	}
+	for _, ds := range f.streams {
+		delete(ds.covered, id)
+	}
+	delete(f.qsize, id)
+	return nil
+}
+
+// rollbackPositions decrements the position counter of every stream vertex
+// that counted a removed column entry of value c in dimension d.
+func (f *DSC) rollbackPositions(ds *dscStream, d npv.Dim, c int32) {
+	ds.st.space.Vectors(func(v graph.VertexID, vvec npv.Vector) bool {
+		if vvec.Get(d) >= c {
+			pos := ds.pos[v]
+			pos[d]--
+			if pos[d] == 0 {
+				delete(pos, d)
+				if len(pos) == 0 {
+					delete(ds.pos, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *DSC) seal() {
+	if f.sealed {
+		return
+	}
+	f.sealed = true
+	for _, col := range f.cols {
+		sort.Slice(col.entries, func(i, j int) bool { return col.entries[i].value < col.entries[j].value })
+	}
+}
+
+// AddStream implements core.Filter.
+func (f *DSC) AddStream(id core.StreamID, g0 *graph.Graph) error {
+	f.seal()
+	if _, ok := f.streams[id]; ok {
+		return fmt.Errorf("join: duplicate stream %d", id)
+	}
+	ds := &dscStream{
+		st:      newStreamState(g0, f.depth),
+		pos:     make(map[graph.VertexID]map[npv.Dim]int),
+		dom:     make(map[graph.VertexID]map[qKey]int),
+		cover:   make(map[qKey]int),
+		covered: make(map[core.QueryID]int),
+	}
+	f.streams[id] = ds
+	for _, v := range ds.st.space.TakeDirty() {
+		f.updateVertex(ds, v)
+	}
+	return nil
+}
+
+// Apply implements core.Filter.
+func (f *DSC) Apply(id core.StreamID, cs graph.ChangeSet) error {
+	ds, ok := f.streams[id]
+	if !ok {
+		return fmt.Errorf("join: unknown stream %d", id)
+	}
+	if err := ds.st.apply(cs); err != nil {
+		return err
+	}
+	for _, v := range ds.st.space.TakeDirty() {
+		f.updateVertex(ds, v)
+	}
+	return nil
+}
+
+// updateVertex moves stream vertex v's position counters to match its
+// current NPV, adjusting dominant counters for exactly the query entries
+// crossed in each dimension.
+func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID) {
+	newVec := ds.st.space.Vector(v) // nil when v was retired
+	pos := ds.pos[v]
+
+	// Dimensions to reconcile: all with a nonzero old position plus all in
+	// the new vector's support (restricted to dimensions queries use).
+	touch := make(map[npv.Dim]struct{}, len(pos)+len(newVec))
+	for d := range pos {
+		touch[d] = struct{}{}
+	}
+	for d := range newVec {
+		if _, ok := f.cols[d]; ok {
+			touch[d] = struct{}{}
+		}
+	}
+	if len(touch) == 0 {
+		return
+	}
+	if pos == nil {
+		pos = make(map[npv.Dim]int)
+		ds.pos[v] = pos
+	}
+	for d := range touch {
+		col := f.cols[d]
+		oldPos := pos[d]
+		newVal := newVec.Get(d) // Get on nil map is safe: method on map type
+		newPos := upperBound(col.entries, newVal)
+		switch {
+		case newPos > oldPos:
+			for _, e := range col.entries[oldPos:newPos] {
+				f.incDom(ds, v, e.key)
+			}
+		case newPos < oldPos:
+			for _, e := range col.entries[newPos:oldPos] {
+				f.decDom(ds, v, e.key)
+			}
+		}
+		if newPos == 0 {
+			delete(pos, d)
+		} else {
+			pos[d] = newPos
+		}
+	}
+	if len(pos) == 0 {
+		delete(ds.pos, v)
+	}
+	if dom := ds.dom[v]; dom != nil && len(dom) == 0 {
+		delete(ds.dom, v)
+	}
+}
+
+func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey) {
+	dom := ds.dom[v]
+	if dom == nil {
+		dom = make(map[qKey]int)
+		ds.dom[v] = dom
+	}
+	dom[k]++
+	if dom[k] == f.nnz[k] {
+		ds.cover[k]++
+		if ds.cover[k] == 1 {
+			ds.covered[k.Q]++
+		}
+	}
+}
+
+func (f *DSC) decDom(ds *dscStream, v graph.VertexID, k qKey) {
+	dom := ds.dom[v]
+	if dom[k] == f.nnz[k] {
+		ds.cover[k]--
+		if ds.cover[k] == 0 {
+			delete(ds.cover, k)
+			ds.covered[k.Q]--
+			if ds.covered[k.Q] == 0 {
+				delete(ds.covered, k.Q)
+			}
+		}
+	}
+	dom[k]--
+	if dom[k] == 0 {
+		delete(dom, k)
+	} else if dom[k] < 0 {
+		panic(fmt.Sprintf("join: DSC dominant counter of %v went negative", k))
+	}
+}
+
+// upperBound returns the number of entries with value ≤ val.
+func upperBound(entries []dscEntry, val int32) int {
+	return sort.Search(len(entries), func(i int) bool { return entries[i].value > val })
+}
+
+// Candidates implements core.Filter.
+func (f *DSC) Candidates() []core.Pair {
+	var out []core.Pair
+	for sid, ds := range f.streams {
+		for qid, size := range f.qsize {
+			if ds.covered[qid] == size {
+				out = append(out, core.Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return core.SortPairs(out)
+}

@@ -1,0 +1,105 @@
+package join
+
+import (
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+)
+
+// TestDSCPositionCrossing exercises the positional-delta update directly:
+// a stream vertex whose dimension count crosses query entries must gain and
+// lose exactly those entries' dominance contributions.
+func TestDSCPositionCrossing(t *testing.T) {
+	f := NewDSC(1)
+	// Query: center A with two B leaves → its center vector has count 2 in
+	// the single dimension (1, A-0->B).
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 1},
+		[][3]int{{0, 1, 0}, {0, 2, 0}})
+	if err := f.AddQuery(0, q); err != nil {
+		t.Fatal(err)
+	}
+	// Stream: center A with ONE B leaf — count 1 < 2: not dominated.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1},
+		[][3]int{{10, 11, 0}})
+	if err := f.AddStream(0, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 0 {
+		t.Fatalf("premature candidate: %v", got)
+	}
+	// Add a second B leaf: the stream center's count crosses the query
+	// entry (value 2) — the pair must appear. (Leaves are dominated by
+	// leaves.)
+	if err := f.Apply(0, graph.ChangeSet{graph.InsertOp(10, 0, 12, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Candidates()
+	if len(got) != 1 || got[0] != (core.Pair{Stream: 0, Query: 0}) {
+		t.Fatalf("Candidates = %v; want the pair", got)
+	}
+	// Remove it again: the position must cross back down.
+	if err := f.Apply(0, graph.ChangeSet{graph.DeleteOp(10, 12)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 0 {
+		t.Fatalf("stale candidate after crossing down: %v", got)
+	}
+}
+
+// TestDSCVertexRetirementDrainsCounters: deleting a stream vertex must
+// remove its dominance contributions entirely.
+func TestDSCVertexRetirementDrainsCounters(t *testing.T) {
+	f := NewDSC(1)
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if err := f.AddQuery(0, q); err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1}, [][3]int{{10, 11, 0}})
+	if err := f.AddStream(0, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 1 {
+		t.Fatalf("Candidates = %v; want the pair", got)
+	}
+	// Deleting the only edge retires both vertices.
+	if err := f.Apply(0, graph.ChangeSet{graph.DeleteOp(10, 11)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 0 {
+		t.Fatalf("Candidates = %v; want none after retirement", got)
+	}
+	ds := f.streams[0]
+	if len(ds.pos) != 0 || len(ds.dom) != 0 || len(ds.cover) != 0 || len(ds.covered) != 0 {
+		t.Fatalf("counters not drained: pos=%d dom=%d cover=%d covered=%d",
+			len(ds.pos), len(ds.dom), len(ds.cover), len(ds.covered))
+	}
+}
+
+// TestSkylineMaxRefutation checks the per-dimension max shortcut: a query
+// vector exceeding the stream's max in one dimension is refuted without a
+// member scan (observable as a pruned pair).
+func TestSkylineMaxRefutation(t *testing.T) {
+	f := NewSkyline(1)
+	// Query center has THREE B leaves; stream max per dimension is 2.
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 1, 3: 1},
+		[][3]int{{0, 1, 0}, {0, 2, 0}, {0, 3, 0}})
+	if err := f.AddQuery(0, q); err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, map[graph.VertexID]graph.Label{10: 0, 11: 1, 12: 1},
+		[][3]int{{10, 11, 0}, {10, 12, 0}})
+	if err := f.AddStream(0, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 0 {
+		t.Fatalf("Candidates = %v; want none (3 > max 2)", got)
+	}
+	// Third leaf arrives: max rises to 3 and the pair passes.
+	if err := f.Apply(0, graph.ChangeSet{graph.InsertOp(10, 0, 13, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Candidates(); len(got) != 1 {
+		t.Fatalf("Candidates = %v; want the pair", got)
+	}
+}

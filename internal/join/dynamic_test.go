@@ -1,0 +1,227 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+)
+
+// dynamicFilters returns fresh instances of every filter supporting dynamic
+// query registration.
+func dynamicFilters(depth int) []core.DynamicFilter {
+	return []core.DynamicFilter{
+		NewNL(depth), NewDSC(depth), NewSkyline(depth), NewBranch(depth), NewExact(),
+	}
+}
+
+func TestDynamicAddAfterStreams(t *testing.T) {
+	for _, f := range dynamicFilters(3) {
+		t.Run(f.Name(), func(t *testing.T) {
+			// Stream contains an A-B edge and a triangle.
+			g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2},
+				[][3]int{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}})
+			if err := f.AddStream(0, g); err != nil {
+				t.Fatal(err)
+			}
+			// Now add queries live.
+			q0 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+			q1 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 3}, [][3]int{{0, 1, 0}})
+			if err := f.AddQuery(0, q0); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.AddQuery(1, q1); err != nil {
+				t.Fatal(err)
+			}
+			got := f.Candidates()
+			want := []core.Pair{{Stream: 0, Query: 0}}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Candidates = %v; want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestDynamicRemove(t *testing.T) {
+	for _, f := range dynamicFilters(3) {
+		t.Run(f.Name(), func(t *testing.T) {
+			workload(t, f.(core.Filter))
+			if err := f.RemoveQuery(0); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range f.Candidates() {
+				if p.Query == 0 {
+					t.Fatalf("removed query still reported: %v", p)
+				}
+			}
+			if err := f.RemoveQuery(0); err == nil {
+				t.Fatal("double remove should fail")
+			}
+			if err := f.RemoveQuery(99); err == nil {
+				t.Fatal("removing unknown query should fail")
+			}
+			// Re-register under the same ID and keep streaming.
+			q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+			if err := f.AddQuery(0, q); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Apply(0, graph.ChangeSet{graph.DeleteOp(0, 1)}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDynamicAgreementRandomized interleaves stream changes with query
+// additions and removals and checks that NL, DSC, and Skyline always agree
+// and never miss an exact pair — the same invariant as the static test, now
+// under a churning query set.
+func TestDynamicAgreementRandomized(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		depth := 1 + r.Intn(3)
+		template := randomConnected(r, 10, 3, 2)
+
+		nl := NewNL(depth)
+		dsc := NewDSC(depth)
+		sky := NewSkyline(depth)
+		exact := NewExact()
+		filters := []core.DynamicFilter{nl, dsc, sky, exact}
+
+		// Streams first: the dynamic path is exercised by adding every
+		// query live.
+		var starts []*graph.Graph
+		for i := 0; i < 3; i++ {
+			starts = append(starts, randomConnected(r, 8+r.Intn(4), 3, 2))
+		}
+		starts = append(starts, template.Clone())
+		for _, f := range filters {
+			for sid, g := range starts {
+				if err := f.AddStream(core.StreamID(sid), g); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		live := map[core.QueryID]bool{}
+		nextQ := core.QueryID(0)
+		check := func(step int) {
+			base := nl.Candidates()
+			for _, f := range []core.DynamicFilter{dsc, sky} {
+				if got := f.Candidates(); !reflect.DeepEqual(base, got) {
+					t.Fatalf("seed=%d depth=%d step=%d: %s=%v vs NL=%v",
+						seed, depth, step, f.Name(), got, base)
+				}
+			}
+			in := make(map[core.Pair]bool)
+			for _, p := range base {
+				in[p] = true
+			}
+			for _, p := range exact.Candidates() {
+				if !in[p] {
+					t.Fatalf("seed=%d depth=%d step=%d: NPV filters missed exact pair %v",
+						seed, depth, step, p)
+				}
+			}
+		}
+
+		labelOf := func(g *graph.Graph, v graph.VertexID, fb graph.Label) graph.Label {
+			if l, ok := g.VertexLabel(v); ok {
+				return l
+			}
+			return fb
+		}
+		for step := 0; step < 25; step++ {
+			switch {
+			case step%5 == 0 || len(live) == 0:
+				// Add a query (a subgraph of the template half the time so
+				// real matches occur).
+				var q *graph.Graph
+				if r.Intn(2) == 0 {
+					q = randomSub(r, template)
+				} else {
+					q = randomSub(r, starts[r.Intn(len(starts))])
+				}
+				if q.VertexCount() == 0 {
+					continue
+				}
+				id := nextQ
+				nextQ++
+				for _, f := range filters {
+					if err := f.AddQuery(id, q); err != nil {
+						t.Fatalf("seed=%d step=%d: %s add query: %v", seed, step, f.Name(), err)
+					}
+				}
+				live[id] = true
+			case step%7 == 0 && len(live) > 0:
+				// Remove a random live query.
+				var id core.QueryID
+				for q := range live {
+					id = q
+					break
+				}
+				for _, f := range filters {
+					if err := f.RemoveQuery(id); err != nil {
+						t.Fatalf("seed=%d step=%d: %s remove query: %v", seed, step, f.Name(), err)
+					}
+				}
+				delete(live, id)
+			default:
+				// Mutate a random stream.
+				sid := core.StreamID(r.Intn(len(starts)))
+				cur := exact.streams[sid]
+				var cs graph.ChangeSet
+				for k := 0; k < 1+r.Intn(3); k++ {
+					u := graph.VertexID(r.Intn(12))
+					v := graph.VertexID(r.Intn(12))
+					if u == v {
+						continue
+					}
+					if cur.HasEdge(u, v) && r.Float64() < 0.5 {
+						cs = append(cs, graph.DeleteOp(u, v))
+					} else if !cur.HasEdge(u, v) {
+						cs = append(cs, graph.InsertOp(u, labelOf(cur, u, graph.Label(r.Intn(3))),
+							v, labelOf(cur, v, graph.Label(r.Intn(3))), graph.Label(r.Intn(2))))
+					}
+				}
+				cs = cs.Normalize()
+				if err := cs.Apply(cur.Clone()); err != nil {
+					continue
+				}
+				for _, f := range filters {
+					if err := f.Apply(sid, cs); err != nil {
+						t.Fatalf("seed=%d step=%d: %s apply: %v", seed, step, f.Name(), err)
+					}
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+func TestMonitorDynamicQueries(t *testing.T) {
+	mon := core.NewMonitor(NewDSC(3))
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if _, err := mon.AddStream(g); err != nil {
+		t.Fatal(err)
+	}
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	id, err := mon.AddQuery(q) // after a stream: allowed, DSC is dynamic
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Candidates(); len(got) != 1 {
+		t.Fatalf("Candidates = %v", got)
+	}
+	if err := mon.RemoveQuery(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Candidates(); len(got) != 0 {
+		t.Fatalf("Candidates after removal = %v", got)
+	}
+	if err := mon.RemoveQuery(id); err == nil {
+		t.Fatal("removing twice should fail")
+	}
+}

@@ -1,0 +1,124 @@
+package join
+
+import (
+	"fmt"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// NL is the nested-loop join baseline: whenever a stream changes, every
+// query is re-checked against it by scanning all (query vertex, stream
+// vertex) vector pairs for dominance. Simple, correct, and the yardstick
+// the two optimized strategies are measured against.
+type NL struct {
+	depth   int
+	queries map[core.QueryID][]npv.Vector
+	streams map[core.StreamID]*streamState
+	verdict map[core.StreamID]map[core.QueryID]bool
+}
+
+var _ core.DynamicFilter = (*NL)(nil)
+
+// NewNL returns a nested-loop filter with the given NNT depth.
+func NewNL(depth int) *NL {
+	return &NL{
+		depth:   depth,
+		queries: make(map[core.QueryID][]npv.Vector),
+		streams: make(map[core.StreamID]*streamState),
+		verdict: make(map[core.StreamID]map[core.QueryID]bool),
+	}
+}
+
+// Name implements core.Filter.
+func (f *NL) Name() string { return "NPV-NL" }
+
+// AddQuery implements core.Filter; queries may also arrive while streams
+// are live (core.DynamicFilter), in which case the new pattern is evaluated
+// against every current stream immediately.
+func (f *NL) AddQuery(id core.QueryID, q *graph.Graph) error {
+	if _, ok := f.queries[id]; ok {
+		return fmt.Errorf("join: duplicate query %d", id)
+	}
+	vecs := make([]npv.Vector, 0, q.VertexCount())
+	for _, v := range projectQuery(q, f.depth) {
+		vecs = append(vecs, v)
+	}
+	f.queries[id] = vecs
+	for sid, st := range f.streams {
+		f.verdict[sid][id] = f.evaluateOne(st, vecs)
+	}
+	return nil
+}
+
+// RemoveQuery implements core.DynamicFilter.
+func (f *NL) RemoveQuery(id core.QueryID) error {
+	if _, ok := f.queries[id]; !ok {
+		return fmt.Errorf("join: unknown query %d", id)
+	}
+	delete(f.queries, id)
+	for _, m := range f.verdict {
+		delete(m, id)
+	}
+	return nil
+}
+
+// AddStream implements core.Filter.
+func (f *NL) AddStream(id core.StreamID, g0 *graph.Graph) error {
+	if _, ok := f.streams[id]; ok {
+		return fmt.Errorf("join: duplicate stream %d", id)
+	}
+	st := newStreamState(g0, f.depth)
+	st.space.TakeDirty()
+	f.streams[id] = st
+	f.verdict[id] = make(map[core.QueryID]bool, len(f.queries))
+	f.evaluate(id)
+	return nil
+}
+
+// Apply implements core.Filter.
+func (f *NL) Apply(id core.StreamID, cs graph.ChangeSet) error {
+	st, ok := f.streams[id]
+	if !ok {
+		return fmt.Errorf("join: unknown stream %d", id)
+	}
+	if err := st.apply(cs); err != nil {
+		return err
+	}
+	if len(st.space.TakeDirty()) == 0 {
+		return nil // nothing changed; verdicts stand
+	}
+	f.evaluate(id)
+	return nil
+}
+
+// evaluate re-derives the verdicts of all queries against stream id.
+func (f *NL) evaluate(id core.StreamID) {
+	st := f.streams[id]
+	for qid, vecs := range f.queries {
+		f.verdict[id][qid] = f.evaluateOne(st, vecs)
+	}
+}
+
+func (f *NL) evaluateOne(st *streamState, vecs []npv.Vector) bool {
+	for _, u := range vecs {
+		if !dominatedByAny(st.space, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates implements core.Filter.
+func (f *NL) Candidates() []core.Pair {
+	var out []core.Pair
+	for sid, m := range f.verdict {
+		for qid, ok := range m {
+			if ok {
+				out = append(out, core.Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return core.SortPairs(out)
+}

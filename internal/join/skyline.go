@@ -1,0 +1,227 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+	"nntstream/internal/skyline"
+)
+
+// Skyline is the skyline-with-early-stop join (Figure 11). It searches for
+// a witness that a pair is NOT joinable: a query vector that no stream
+// vector dominates (a bichromatic skyline point of the query set with
+// respect to the stream set). Three optimizations from the paper:
+//
+//  1. Query side: only the maximal (monochromatic skyline) query vectors
+//     are checked — if any query vector is undominated, a maximal one is.
+//  2. Query side: maximal vectors are probed in an order that favors early
+//     stops (descending L1 mass: heavier vectors are harder to dominate).
+//  3. Stream side: per-dimension max values give an O(|support|) refutation
+//     ("no stream vector is large enough in dimension d"), and otherwise
+//     only the vectors of the query vector's lowest-cardinality nonzero
+//     dimension are scanned, since any dominator must appear there.
+type Skyline struct {
+	depth   int
+	queries map[core.QueryID][]npv.Vector // maximal vectors, probe order
+	streams map[core.StreamID]*skyStream
+}
+
+type skyStream struct {
+	st *streamState
+	// prev shadows each vertex's vector as currently registered in dims,
+	// so removals and max recomputation use consistent values.
+	prev map[graph.VertexID]npv.Vector
+	dims map[npv.Dim]*dimStat
+	// verdict caches the joinability of each query against this stream.
+	verdict map[core.QueryID]bool
+}
+
+type dimStat struct {
+	members map[graph.VertexID]struct{}
+	max     int32
+}
+
+var _ core.DynamicFilter = (*Skyline)(nil)
+
+// NewSkyline returns a skyline-with-early-stop filter with the given NNT
+// depth.
+func NewSkyline(depth int) *Skyline {
+	return &Skyline{
+		depth:   depth,
+		queries: make(map[core.QueryID][]npv.Vector),
+		streams: make(map[core.StreamID]*skyStream),
+	}
+}
+
+// Name implements core.Filter.
+func (f *Skyline) Name() string { return "NPV-Skyline" }
+
+// AddQuery implements core.Filter.
+func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
+	if _, ok := f.queries[id]; ok {
+		return fmt.Errorf("join: duplicate query %d", id)
+	}
+	var vecs []npv.Vector
+	for _, v := range projectQuery(q, f.depth) {
+		vecs = append(vecs, v)
+	}
+	maximal := skyline.Maximal(vecs)
+	// Probe heaviest first: those are the least likely to be dominated, so
+	// a non-joinable pair is refuted early.
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i].L1() > maximal[j].L1() })
+	f.queries[id] = maximal
+	for _, ss := range f.streams {
+		ss.verdict[id] = f.evaluate(ss, maximal)
+	}
+	return nil
+}
+
+// RemoveQuery implements core.DynamicFilter.
+func (f *Skyline) RemoveQuery(id core.QueryID) error {
+	if _, ok := f.queries[id]; !ok {
+		return fmt.Errorf("join: unknown query %d", id)
+	}
+	delete(f.queries, id)
+	for _, ss := range f.streams {
+		delete(ss.verdict, id)
+	}
+	return nil
+}
+
+// AddStream implements core.Filter.
+func (f *Skyline) AddStream(id core.StreamID, g0 *graph.Graph) error {
+	if _, ok := f.streams[id]; ok {
+		return fmt.Errorf("join: duplicate stream %d", id)
+	}
+	ss := &skyStream{
+		st:      newStreamState(g0, f.depth),
+		prev:    make(map[graph.VertexID]npv.Vector),
+		dims:    make(map[npv.Dim]*dimStat),
+		verdict: make(map[core.QueryID]bool, len(f.queries)),
+	}
+	f.streams[id] = ss
+	f.refresh(ss)
+	return nil
+}
+
+// Apply implements core.Filter.
+func (f *Skyline) Apply(id core.StreamID, cs graph.ChangeSet) error {
+	ss, ok := f.streams[id]
+	if !ok {
+		return fmt.Errorf("join: unknown stream %d", id)
+	}
+	if err := ss.st.apply(cs); err != nil {
+		return err
+	}
+	f.refresh(ss)
+	return nil
+}
+
+// refresh reconciles the per-dimension statistics with the dirty vertices
+// and re-evaluates all query verdicts for the stream.
+func (f *Skyline) refresh(ss *skyStream) {
+	dirty := ss.st.space.TakeDirty()
+	if len(dirty) == 0 && len(ss.verdict) == len(f.queries) {
+		return
+	}
+	for _, v := range dirty {
+		// Deregister the old vector.
+		if old, ok := ss.prev[v]; ok {
+			for d, val := range old {
+				stat := ss.dims[d]
+				delete(stat.members, v)
+				if len(stat.members) == 0 {
+					delete(ss.dims, d)
+					continue
+				}
+				if val == stat.max {
+					stat.max = 0
+					for w := range stat.members {
+						if wv := ss.prev[w].Get(d); wv > stat.max {
+							stat.max = wv
+						}
+					}
+				}
+			}
+			delete(ss.prev, v)
+		}
+		// Register the new vector.
+		cur := ss.st.space.Vector(v)
+		if cur == nil {
+			continue // vertex retired
+		}
+		cp := cur.Clone()
+		ss.prev[v] = cp
+		for d, val := range cp {
+			stat := ss.dims[d]
+			if stat == nil {
+				stat = &dimStat{members: make(map[graph.VertexID]struct{})}
+				ss.dims[d] = stat
+			}
+			stat.members[v] = struct{}{}
+			if val > stat.max {
+				stat.max = val
+			}
+		}
+	}
+	for qid, maximal := range f.queries {
+		ss.verdict[qid] = f.evaluate(ss, maximal)
+	}
+}
+
+// evaluate reports joinability: true iff every maximal query vector is
+// dominated by some stream vector.
+func (f *Skyline) evaluate(ss *skyStream, maximal []npv.Vector) bool {
+	for _, u := range maximal {
+		if !f.dominated(ss, u) {
+			// u is a bichromatic skyline point of the query vectors with
+			// respect to the stream vectors: early stop, prune the pair.
+			return false
+		}
+	}
+	return true
+}
+
+// dominated implements the stream-side probe for one query vector.
+func (f *Skyline) dominated(ss *skyStream, u npv.Vector) bool {
+	if len(u) == 0 {
+		// An empty query vector is dominated by any vertex.
+		return len(ss.prev) > 0
+	}
+	var probe *dimStat
+	for d, val := range u {
+		stat := ss.dims[d]
+		if stat == nil || val > stat.max {
+			// No stream vector reaches u in dimension d: u is a skyline
+			// point, refuted in O(|support|).
+			return false
+		}
+		if probe == nil || len(stat.members) < len(probe.members) {
+			probe = stat
+		}
+	}
+	// Any dominator of u is nonzero in every support dimension of u, so it
+	// is a member of the probe (minimum-cardinality) dimension.
+	for v := range probe.members {
+		if ss.prev[v].Dominates(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates implements core.Filter.
+func (f *Skyline) Candidates() []core.Pair {
+	var out []core.Pair
+	for sid, ss := range f.streams {
+		for qid, ok := range ss.verdict {
+			if ok {
+				out = append(out, core.Pair{Stream: sid, Query: qid})
+			}
+		}
+	}
+	return core.SortPairs(out)
+}

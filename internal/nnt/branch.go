@@ -1,0 +1,79 @@
+package nnt
+
+import "nntstream/internal/graph"
+
+// This file implements the branch-compatibility relation of Lemma 4.1: if a
+// query graph Q is subgraph-isomorphic to a data graph G, then for every
+// vertex u of Q some vertex v of G exists whose NNT contains every branch
+// (root-path label sequence) of NNT(u). Branch compatibility is a strictly
+// stronger filter than NPV dominance — the projection of Section IV-A
+// deliberately trades some of its pruning power for constant-time vector
+// comparisons — so it is kept here both as a reference filter and for the
+// ablation experiment quantifying that trade-off.
+
+// branchKey identifies a labeled tree-edge step: the edge label followed by
+// the child vertex label.
+type branchKey struct {
+	Edge  graph.Label
+	Child graph.Label
+}
+
+// Trie is the label-trie of an NNT: children of one tree node that carry the
+// same (edge label, vertex label) step are merged, so a root-path label
+// sequence exists in the tree iff it exists in the trie.
+type Trie struct {
+	RootLabel graph.Label
+	children  map[branchKey]*Trie
+}
+
+// BuildTrie collapses the subtree rooted at n into its label trie.
+func BuildTrie(n *Node) *Trie {
+	t := &Trie{RootLabel: n.VLabel}
+	t.merge(n)
+	return t
+}
+
+func (t *Trie) merge(n *Node) {
+	for _, c := range n.Children {
+		key := branchKey{Edge: c.EdgeLabel, Child: c.VLabel}
+		child, ok := t.children[key]
+		if !ok {
+			if t.children == nil {
+				t.children = make(map[branchKey]*Trie, len(n.Children))
+			}
+			child = &Trie{RootLabel: c.VLabel}
+			t.children[key] = child
+		}
+		child.merge(c)
+	}
+}
+
+// ContainsBranches reports whether every branch of the tree rooted at n is a
+// path of the trie. Root labels must agree.
+func (t *Trie) ContainsBranches(n *Node) bool {
+	if t.RootLabel != n.VLabel {
+		return false
+	}
+	return t.containsRec(n)
+}
+
+func (t *Trie) containsRec(n *Node) bool {
+	for _, c := range n.Children {
+		sub, ok := t.children[branchKey{Edge: c.EdgeLabel, Child: c.VLabel}]
+		if !ok {
+			return false
+		}
+		if !sub.containsRec(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// BranchCompatible reports whether NNT q is branch-compatible with NNT g:
+// the roots carry the same label and every branch of q occurs in g. This is
+// the one-shot form; filters that test one data tree against many query
+// trees should BuildTrie once and reuse it.
+func BranchCompatible(q, g *Node) bool {
+	return BuildTrie(g).ContainsBranches(q)
+}

@@ -1,0 +1,173 @@
+package nnt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+)
+
+func TestBranchCompatibleBasic(t *testing.T) {
+	// Query: star A(B,C). Data: A(B,C,D). Every branch of the query star
+	// occurs in the data star.
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2},
+		[][3]int{{0, 1, 0}, {0, 2, 0}})
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2, 3: 3},
+		[][3]int{{0, 1, 0}, {0, 2, 0}, {0, 3, 0}})
+	fq := NewForest(q, 2)
+	fg := NewForest(g, 2)
+	if !BranchCompatible(fq.Tree(0), fg.Tree(0)) {
+		t.Fatal("query star should be branch-compatible with data star")
+	}
+	// Reverse direction fails: data has a branch to label 3 the query lacks
+	// — wait, compatibility only requires q's branches in g, so the reverse
+	// asks whether A(B,C,D)'s branches all occur in A(B,C): the D branch
+	// does not.
+	if BranchCompatible(fg.Tree(0), fq.Tree(0)) {
+		t.Fatal("data star must not be branch-compatible with smaller query star")
+	}
+}
+
+func TestBranchCompatibleRootLabel(t *testing.T) {
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 5}, nil)
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 6}, nil)
+	fq := NewForest(q, 2)
+	fg := NewForest(g, 2)
+	if BranchCompatible(fq.Tree(0), fg.Tree(0)) {
+		t.Fatal("different root labels cannot be branch-compatible")
+	}
+	if !BranchCompatible(fq.Tree(0), fq.Tree(0)) {
+		t.Fatal("tree is branch-compatible with itself")
+	}
+}
+
+func TestBranchCompatibleEdgeLabels(t *testing.T) {
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1},
+		[][3]int{{0, 1, 7}})
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1},
+		[][3]int{{0, 1, 8}})
+	fq := NewForest(q, 2)
+	fg := NewForest(g, 2)
+	if BranchCompatible(fq.Tree(0), fg.Tree(0)) {
+		t.Fatal("edge labels must participate in branch compatibility")
+	}
+}
+
+func TestTrieMergesParallelBranches(t *testing.T) {
+	// Data: center A with two B leaves, one of which continues to C.
+	// Query: A→B→C. The trie must merge the two A→B steps so the query
+	// branch A→B→C is found through the continuing leaf.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 1, 3: 2},
+		[][3]int{{0, 1, 0}, {0, 2, 0}, {2, 3, 0}})
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2},
+		[][3]int{{0, 1, 0}, {1, 2, 0}})
+	fg := NewForest(g, 2)
+	fq := NewForest(q, 2)
+	if !BranchCompatible(fq.Tree(0), fg.Tree(0)) {
+		t.Fatal("trie must merge equal-label branches")
+	}
+}
+
+// TestQuickLemma41NoFalseNegatives is the paper's Lemma 4.1 as a property:
+// whenever Q is subgraph-isomorphic to G, every query vertex has a
+// branch-compatible data vertex.
+func TestQuickLemma41NoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 5+r.Intn(7), 3)
+		q := randomSubgraph(r, g)
+		if q.VertexCount() == 0 {
+			return true
+		}
+		if !iso.Contains(q, g) {
+			// Should not happen (q is an actual subgraph), but if the
+			// sampling produced something odd, skip.
+			return true
+		}
+		fq := NewForest(q, 3)
+		fg := NewForest(g, 3)
+		ok := true
+		fq.Roots(func(_ graph.VertexID, qroot *Node) bool {
+			found := false
+			fg.Roots(func(_ graph.VertexID, groot *Node) bool {
+				if BranchCompatible(qroot, groot) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomConnectedGraph generates a connected random graph: a random spanning
+// tree plus extra edges.
+func randomConnectedGraph(r *rand.Rand, n, labels int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		_ = g.AddVertex(graph.VertexID(i), graph.Label(r.Intn(labels)))
+	}
+	for i := 1; i < n; i++ {
+		j := r.Intn(i)
+		_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), graph.Label(r.Intn(2)))
+	}
+	extra := r.Intn(n)
+	for k := 0; k < extra; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i != j {
+			_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), graph.Label(r.Intn(2)))
+		}
+	}
+	return g
+}
+
+// randomSubgraph extracts a random connected subgraph of g by growing an
+// edge set from a random start vertex.
+func randomSubgraph(r *rand.Rand, g *graph.Graph) *graph.Graph {
+	ids := g.VertexIDs()
+	if len(ids) == 0 {
+		return graph.New()
+	}
+	start := ids[r.Intn(len(ids))]
+	sub := graph.New()
+	_ = sub.AddVertex(start, g.MustVertexLabel(start))
+	wantEdges := 1 + r.Intn(g.EdgeCount()+1)
+	frontier := []graph.VertexID{start}
+	for sub.EdgeCount() < wantEdges && len(frontier) > 0 {
+		v := frontier[r.Intn(len(frontier))]
+		es := g.NeighborsSorted(v)
+		added := false
+		for _, idx := range r.Perm(len(es)) {
+			e := es[idx]
+			if sub.HasEdge(e.U, e.V) {
+				continue
+			}
+			_ = sub.AddVertex(e.V, g.MustVertexLabel(e.V))
+			_ = sub.AddEdge(e.U, e.V, e.Label)
+			frontier = append(frontier, e.V)
+			added = true
+			break
+		}
+		if !added {
+			// v is exhausted; drop it from the frontier.
+			for i, u := range frontier {
+				if u == v {
+					frontier = append(frontier[:i], frontier[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return sub
+}

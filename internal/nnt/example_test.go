@@ -1,0 +1,34 @@
+package nnt_test
+
+import (
+	"fmt"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/nnt"
+)
+
+// ExampleForest builds the NNTs of a triangle and evolves them with one
+// edge deletion, showing the incremental maintenance of Section III.
+func ExampleForest() {
+	g := graph.New()
+	_ = g.AddVertex(0, 0) // A
+	_ = g.AddVertex(1, 1) // B
+	_ = g.AddVertex(2, 2) // C
+	_ = g.AddEdge(0, 1, 0)
+	_ = g.AddEdge(1, 2, 0)
+	_ = g.AddEdge(2, 0, 0)
+
+	f := nnt.NewForest(g, 3)
+	// With depth 3, NNT(A) contains both triangle traversals: A→B→C→A and
+	// A→C→B→A (simple paths repeat vertices, never edges).
+	fmt.Println("triangle NNT(A) size:", f.Tree(0).Size())
+
+	_ = f.Apply(graph.DeleteOp(1, 2))
+	// Without the B—C edge only the two single steps remain.
+	fmt.Println("after delete NNT(A) size:", f.Tree(0).Size())
+	fmt.Println("canonical:", f.Tree(0).CanonicalString())
+	// Output:
+	// triangle NNT(A) size: 7
+	// after delete NNT(A) size: 3
+	// canonical: 0:0(1:1/0 2:2/0)
+}

@@ -1,0 +1,455 @@
+package nnt
+
+import (
+	"fmt"
+
+	"nntstream/internal/graph"
+)
+
+// Observer receives structural notifications as the forest changes. The NPV
+// projection layer subscribes to maintain node-projected vectors
+// incrementally; level, parent label, edge label, and child label are
+// exactly the components of a projection dimension (Definition 4.1).
+type Observer interface {
+	// TreeAdded fires when a new vertex, and hence a new (initially
+	// single-node) NNT, enters the graph.
+	TreeAdded(root graph.VertexID, rootLabel graph.Label)
+	// TreeRemoved fires when a vertex is retired along with its NNT. All
+	// TreeEdgeRemoved events for the tree fire before this.
+	TreeRemoved(root graph.VertexID)
+	// TreeEdgeAdded fires for every tree edge appended to the NNT of root.
+	// level is the depth of the child endpoint (≥ 1).
+	TreeEdgeAdded(root graph.VertexID, level int, parentLabel, edgeLabel, childLabel graph.Label)
+	// TreeEdgeRemoved mirrors TreeEdgeAdded for deletions.
+	TreeEdgeRemoved(root graph.VertexID, level int, parentLabel, edgeLabel, childLabel graph.Label)
+}
+
+// Forest maintains the node-neighbor trees of every vertex of one evolving
+// graph. It owns its graph copy; drive it exclusively through Apply (or
+// ApplySet) so that trees and graph stay synchronized.
+type Forest struct {
+	g     *graph.Graph
+	depth int
+	roots map[graph.VertexID]*Node
+	// nodeIdx is the node-tree index I_n: the head of the intrusive list
+	// of all appearances of a graph vertex as tree nodes (roots included)
+	// across all trees.
+	nodeIdx map[graph.VertexID]*Node
+	// edgeIdx is the edge-tree index I_e: the head of the intrusive list
+	// of all appearances of a graph edge as tree edges, each identified by
+	// the child endpoint.
+	edgeIdx map[graph.Edge]*Node
+	obs     []Observer
+}
+
+// NewForest builds the forest for an initial graph. The graph is cloned;
+// subsequent evolution goes through Apply. depth is the paper's l; the
+// evaluation (Fig. 12) finds l=3 sufficient, which callers typically use.
+func NewForest(g *graph.Graph, depth int, obs ...Observer) *Forest {
+	if depth < 1 {
+		panic(fmt.Sprintf("nnt: depth must be ≥ 1, got %d", depth))
+	}
+	f := &Forest{
+		g:       g.Clone(),
+		depth:   depth,
+		roots:   make(map[graph.VertexID]*Node, g.VertexCount()),
+		nodeIdx: make(map[graph.VertexID]*Node, g.VertexCount()),
+		edgeIdx: make(map[graph.Edge]*Node, g.EdgeCount()),
+		obs:     obs,
+	}
+	f.g.Vertices(func(v graph.VertexID, l graph.Label) bool {
+		f.addRoot(v, l)
+		return true
+	})
+	for v, root := range f.roots {
+		_ = v
+		f.expand(root)
+	}
+	return f
+}
+
+// Depth returns the depth bound l.
+func (f *Forest) Depth() int { return f.depth }
+
+// Graph returns the forest's current graph. Callers must not mutate it.
+func (f *Forest) Graph() *graph.Graph { return f.g }
+
+// Tree returns the NNT root for vertex v, or nil when v is absent.
+func (f *Forest) Tree(v graph.VertexID) *Node { return f.roots[v] }
+
+// Roots calls fn for every tree root. Iteration order is unspecified.
+func (f *Forest) Roots(fn func(v graph.VertexID, root *Node) bool) {
+	for v, r := range f.roots {
+		if !fn(v, r) {
+			return
+		}
+	}
+}
+
+// TotalNodes returns the number of tree nodes across all NNTs, a direct
+// measure of the feature structure's memory footprint.
+func (f *Forest) TotalNodes() int {
+	total := 0
+	for _, r := range f.roots {
+		total += r.Size()
+	}
+	return total
+}
+
+func (f *Forest) addRoot(v graph.VertexID, l graph.Label) *Node {
+	root := &Node{Vertex: v, VLabel: l, Root: v}
+	f.roots[v] = root
+	f.indexNode(root)
+	for _, o := range f.obs {
+		o.TreeAdded(v, l)
+	}
+	return root
+}
+
+func (f *Forest) indexNode(n *Node) {
+	// Push-front onto the vertex appearance list.
+	if head := f.nodeIdx[n.Vertex]; head != nil {
+		n.nodeNext = head
+		head.nodePrev = n
+	}
+	f.nodeIdx[n.Vertex] = n
+	if n.Parent != nil {
+		e := graph.Edge{U: n.Parent.Vertex, V: n.Vertex}.Canonical()
+		if head := f.edgeIdx[e]; head != nil {
+			n.edgeNext = head
+			head.edgePrev = n
+		}
+		f.edgeIdx[e] = n
+	}
+}
+
+func (f *Forest) unindexNode(n *Node) {
+	// Unlink from the vertex appearance list.
+	if n.nodePrev != nil {
+		n.nodePrev.nodeNext = n.nodeNext
+	} else if f.nodeIdx[n.Vertex] == n {
+		if n.nodeNext != nil {
+			f.nodeIdx[n.Vertex] = n.nodeNext
+		} else {
+			delete(f.nodeIdx, n.Vertex)
+		}
+	}
+	if n.nodeNext != nil {
+		n.nodeNext.nodePrev = n.nodePrev
+	}
+	n.nodePrev, n.nodeNext = nil, nil
+
+	if n.Parent != nil {
+		e := graph.Edge{U: n.Parent.Vertex, V: n.Vertex}.Canonical()
+		if n.edgePrev != nil {
+			n.edgePrev.edgeNext = n.edgeNext
+		} else if f.edgeIdx[e] == n {
+			if n.edgeNext != nil {
+				f.edgeIdx[e] = n.edgeNext
+			} else {
+				delete(f.edgeIdx, e)
+			}
+		}
+		if n.edgeNext != nil {
+			n.edgeNext.edgePrev = n.edgePrev
+		}
+		n.edgePrev, n.edgeNext = nil, nil
+	}
+}
+
+// addChild appends a tree edge parent→(vertex) and returns the new child.
+func (f *Forest) addChild(parent *Node, v graph.VertexID, vl, el graph.Label) *Node {
+	child := &Node{
+		Vertex:    v,
+		VLabel:    vl,
+		EdgeLabel: el,
+		Depth:     parent.Depth + 1,
+		Parent:    parent,
+		Root:      parent.Root,
+	}
+	parent.Children = append(parent.Children, child)
+	f.indexNode(child)
+	for _, o := range f.obs {
+		o.TreeEdgeAdded(child.Root, child.Depth, parent.VLabel, el, vl)
+	}
+	return child
+}
+
+// expand grows the subtree under n with every simple-path extension allowed
+// by the current graph and the depth bound.
+func (f *Forest) expand(n *Node) {
+	if n.Depth >= f.depth {
+		return
+	}
+	f.g.Neighbors(n.Vertex, func(u graph.VertexID, el graph.Label) bool {
+		if n.PathUsesEdge(n.Vertex, u) {
+			return true
+		}
+		child := f.addChild(n, u, f.g.MustVertexLabel(u), el)
+		f.expand(child)
+		return true
+	})
+}
+
+// removeSubtree detaches and unindexes the subtree rooted at n (which must
+// not be a tree root), firing TreeEdgeRemoved bottom-up for each tree edge.
+func (f *Forest) removeSubtree(n *Node) {
+	p := n.Parent
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	f.destroy(n, p)
+}
+
+// destroy unindexes n and its descendants. The caller has already detached n
+// from parent.Children; descendants are dropped wholesale, so they are never
+// individually detached (doing so would mutate a slice the recursion is
+// iterating).
+func (f *Forest) destroy(n *Node, parent *Node) {
+	for _, c := range n.Children {
+		f.destroy(c, n)
+	}
+	n.Children = nil
+	f.unindexNode(n) // uses n.Parent for the edge key; clear it after
+	n.Parent = nil
+	for _, o := range f.obs {
+		o.TreeEdgeRemoved(n.Root, n.Depth, parent.VLabel, n.EdgeLabel, n.VLabel)
+	}
+}
+
+// deleteEdgeTrees implements the paper's Delete-Edge procedure: every
+// appearance of graph edge {u,v} as a tree edge is located through the
+// edge-tree index and its subtree is removed. The list is snapshotted
+// first because subtree removal unlinks deeper appearances of the same
+// edge; snapshotted nodes already detached by an earlier removal are
+// recognized by their nil Parent and skipped.
+func (f *Forest) deleteEdgeTrees(u, v graph.VertexID) {
+	key := graph.Edge{U: u, V: v}.Canonical()
+	var snap []*Node
+	for n := f.edgeIdx[key]; n != nil; n = n.edgeNext {
+		snap = append(snap, n)
+	}
+	for _, child := range snap {
+		if child.Parent == nil {
+			continue // already removed as part of an earlier subtree
+		}
+		f.removeSubtree(child)
+	}
+}
+
+// insertEdgeTrees implements the paper's Insert-Edge procedure. The graph
+// must already contain the edge. Appearance lists of both endpoints are
+// snapshotted first: every new simple path crosses the new edge exactly
+// once, and its prefix up to the crossing is a pre-existing path, i.e. a
+// snapshotted appearance of a or b.
+func (f *Forest) insertEdgeTrees(a, b graph.VertexID, el graph.Label) {
+	al := f.g.MustVertexLabel(a)
+	bl := f.g.MustVertexLabel(b)
+	appA := snapshot(f.nodeIdx[a])
+	appB := snapshot(f.nodeIdx[b])
+	for _, n := range appA {
+		if n.Depth < f.depth {
+			child := f.addChild(n, b, bl, el)
+			f.expand(child)
+		}
+	}
+	for _, n := range appB {
+		if n.Depth < f.depth {
+			child := f.addChild(n, a, al, el)
+			f.expand(child)
+		}
+	}
+}
+
+func snapshot(head *Node) []*Node {
+	var out []*Node
+	for n := head; n != nil; n = n.nodeNext {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Apply advances the forest by one change operation, mutating its graph and
+// trees in lock-step.
+func (f *Forest) Apply(op graph.ChangeOp) error {
+	switch op.Kind {
+	case graph.OpInsert:
+		if l, ok := f.g.VertexLabel(op.U); ok && l != op.ULabel {
+			return fmt.Errorf("nnt: vertex %d relabel %d→%d not supported", op.U, l, op.ULabel)
+		}
+		if l, ok := f.g.VertexLabel(op.V); ok && l != op.VLabel {
+			return fmt.Errorf("nnt: vertex %d relabel %d→%d not supported", op.V, l, op.VLabel)
+		}
+		if !f.g.HasVertex(op.U) {
+			if err := f.g.AddVertex(op.U, op.ULabel); err != nil {
+				return err
+			}
+			f.addRoot(op.U, op.ULabel)
+		}
+		if !f.g.HasVertex(op.V) {
+			if err := f.g.AddVertex(op.V, op.VLabel); err != nil {
+				return err
+			}
+			f.addRoot(op.V, op.VLabel)
+		}
+		if f.g.HasEdge(op.U, op.V) {
+			return nil // idempotent re-insert
+		}
+		if err := f.g.AddEdge(op.U, op.V, op.EdgeLabel); err != nil {
+			return err
+		}
+		f.insertEdgeTrees(op.U, op.V, op.EdgeLabel)
+		return nil
+	case graph.OpDelete:
+		if !f.g.HasEdge(op.U, op.V) {
+			return nil
+		}
+		f.deleteEdgeTrees(op.U, op.V)
+		f.g.RemoveEdge(op.U, op.V)
+		for _, v := range [2]graph.VertexID{op.U, op.V} {
+			if f.g.HasVertex(v) && f.g.Degree(v) == 0 {
+				f.removeRoot(v)
+				f.g.RemoveVertex(v)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("nnt: unknown op kind %d", op.Kind)
+	}
+}
+
+func (f *Forest) removeRoot(v graph.VertexID) {
+	root := f.roots[v]
+	if root == nil {
+		return
+	}
+	if len(root.Children) != 0 {
+		// An isolated vertex cannot have tree children; if it does, the
+		// forest diverged from the graph — fail loudly.
+		panic(fmt.Sprintf("nnt: removing root %d with %d children", v, len(root.Children)))
+	}
+	f.unindexNode(root)
+	delete(f.roots, v)
+	for _, o := range f.obs {
+		o.TreeRemoved(v)
+	}
+}
+
+// ApplySet applies a full change set, deletions before insertions per the
+// paper's processing order.
+func (f *Forest) ApplySet(cs graph.ChangeSet) error {
+	for _, op := range cs.Normalize() {
+		if err := f.Apply(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates internal consistency: tree structure, depth
+// bounds, simple-path property, index completeness, and agreement with the
+// graph. It is O(forest size) and meant for tests and debugging.
+func (f *Forest) CheckInvariants() error {
+	// Every graph vertex has a tree and vice versa.
+	if len(f.roots) != f.g.VertexCount() {
+		return fmt.Errorf("nnt: %d roots for %d vertices", len(f.roots), f.g.VertexCount())
+	}
+	nodeSeen := make(map[*Node]bool)
+	edgeSeen := make(map[*Node]bool)
+	for v, root := range f.roots {
+		if root.Vertex != v || root.Root != v || root.Depth != 0 || root.Parent != nil {
+			return fmt.Errorf("nnt: malformed root for %d", v)
+		}
+		if l, ok := f.g.VertexLabel(v); !ok || l != root.VLabel {
+			return fmt.Errorf("nnt: root %d label mismatch", v)
+		}
+		var walk func(n *Node) error
+		walk = func(n *Node) error {
+			nodeSeen[n] = true
+			if n.Parent != nil {
+				edgeSeen[n] = true
+				if n.Depth != n.Parent.Depth+1 {
+					return fmt.Errorf("nnt: bad depth at %v", n.Vertex)
+				}
+				if n.Depth > f.depth {
+					return fmt.Errorf("nnt: depth %d exceeds bound %d", n.Depth, f.depth)
+				}
+				el, ok := f.g.EdgeLabel(n.Parent.Vertex, n.Vertex)
+				if !ok || el != n.EdgeLabel {
+					return fmt.Errorf("nnt: tree edge (%d,%d) not in graph or label mismatch", n.Parent.Vertex, n.Vertex)
+				}
+				if n.Parent.PathUsesEdge(n.Parent.Vertex, n.Vertex) {
+					return fmt.Errorf("nnt: repeated edge on path to %d in tree %d", n.Vertex, n.Root)
+				}
+			}
+			if n.Root != v {
+				return fmt.Errorf("nnt: node in tree %d claims root %d", v, n.Root)
+			}
+			if !listContains(f.nodeIdx[n.Vertex], n, false) {
+				return fmt.Errorf("nnt: appearance of %d missing from node index", n.Vertex)
+			}
+			if n.Parent != nil {
+				e := graph.Edge{U: n.Parent.Vertex, V: n.Vertex}.Canonical()
+				if !listContains(f.edgeIdx[e], n, true) {
+					return fmt.Errorf("nnt: appearance of edge %v missing from edge index", e)
+				}
+			}
+			for _, c := range n.Children {
+				if c.Parent != n {
+					return fmt.Errorf("nnt: child of %d has wrong parent", n.Vertex)
+				}
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(root); err != nil {
+			return err
+		}
+	}
+	// Indexes contain no stale entries and the lists are well-linked.
+	for v, head := range f.nodeIdx {
+		var prev *Node
+		for n := head; n != nil; n = n.nodeNext {
+			if !nodeSeen[n] {
+				return fmt.Errorf("nnt: stale node-index entry for vertex %d", v)
+			}
+			if n.nodePrev != prev {
+				return fmt.Errorf("nnt: broken node list for vertex %d", v)
+			}
+			prev = n
+		}
+	}
+	for e, head := range f.edgeIdx {
+		var prev *Node
+		for n := head; n != nil; n = n.edgeNext {
+			if !edgeSeen[n] {
+				return fmt.Errorf("nnt: stale edge-index entry for %v", e)
+			}
+			if n.edgePrev != prev {
+				return fmt.Errorf("nnt: broken edge list for %v", e)
+			}
+			prev = n
+		}
+	}
+	return nil
+}
+
+// listContains walks an intrusive appearance list looking for n.
+func listContains(head, n *Node, edgeList bool) bool {
+	for cur := head; cur != nil; {
+		if cur == n {
+			return true
+		}
+		if edgeList {
+			cur = cur.edgeNext
+		} else {
+			cur = cur.nodeNext
+		}
+	}
+	return false
+}

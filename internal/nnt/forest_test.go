@@ -1,0 +1,316 @@
+package nnt
+
+import (
+	"math/rand"
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+func buildGraph(t *testing.T, vlabels map[graph.VertexID]graph.Label, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for v, l := range vlabels {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]), graph.Label(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// pathGraph builds 0-1-2-...-n-1 with vertex labels = id and edge label 0.
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		if err := g.AddVertex(graph.VertexID(i), graph.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestForestBuildPath(t *testing.T) {
+	g := pathGraph(t, 4) // 0-1-2-3
+	f := NewForest(g, 2)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// NNT(0) with l=2: 0 → 1 → 2.
+	root := f.Tree(0)
+	if root == nil || root.Size() != 3 {
+		t.Fatalf("NNT(0) size = %d; want 3", root.Size())
+	}
+	// NNT(1) with l=2: 1 → {0, 2 → 3}.
+	if got := f.Tree(1).Size(); got != 4 {
+		t.Fatalf("NNT(1) size = %d; want 4", got)
+	}
+	if f.Depth() != 2 {
+		t.Fatalf("Depth = %d; want 2", f.Depth())
+	}
+}
+
+func TestForestTriangleSimplePaths(t *testing.T) {
+	// Triangle 0-1-2. With l=3 the path 0→1→2→0 is simple (no repeated
+	// EDGE) even though vertex 0 repeats, so NNT(0) must contain it.
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2},
+		[][3]int{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}})
+	f := NewForest(g, 3)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// NNT(0): root 0, children 1 and 2; under 1: 2, under that: 0 (closing
+	// the triangle); symmetric on the other side. Sizes: 1 + 3 + 3 = 7.
+	if got := f.Tree(0).Size(); got != 7 {
+		t.Fatalf("NNT(0) size = %d; want 7", got)
+	}
+	// With l=2 the closing step is cut: 1 + 2 + 2 = 5.
+	f2 := NewForest(g, 2)
+	if got := f2.Tree(0).Size(); got != 5 {
+		t.Fatalf("NNT(0) size at l=2 = %d; want 5", got)
+	}
+}
+
+func TestForestDepthBound(t *testing.T) {
+	g := pathGraph(t, 10)
+	f := NewForest(g, 3)
+	var maxDepth int
+	f.Roots(func(_ graph.VertexID, root *Node) bool {
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n.Depth > maxDepth {
+				maxDepth = n.Depth
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+		return true
+	})
+	if maxDepth != 3 {
+		t.Fatalf("max depth = %d; want 3", maxDepth)
+	}
+}
+
+func TestForestRejectsBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewForest with depth 0 should panic")
+		}
+	}()
+	NewForest(graph.New(), 0)
+}
+
+func TestApplyInsertMatchesRebuild(t *testing.T) {
+	g := pathGraph(t, 4)
+	f := NewForest(g, 3)
+	// Insert edge (0,3), closing a cycle.
+	op := graph.InsertOp(0, 0, 3, 3, 5)
+	if err := f.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertForestMatchesRebuild(t, f)
+}
+
+func TestApplyDeleteMatchesRebuild(t *testing.T) {
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1, 2: 2, 3: 3},
+		[][3]int{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {2, 3, 0}})
+	f := NewForest(g, 3)
+	if err := f.Apply(graph.DeleteOp(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertForestMatchesRebuild(t, f)
+}
+
+func TestApplyDeleteRetiresIsolatedVertex(t *testing.T) {
+	g := pathGraph(t, 3) // 0-1-2
+	f := NewForest(g, 2)
+	if err := f.Apply(graph.DeleteOp(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tree(0) != nil {
+		t.Fatal("tree for retired vertex 0 still present")
+	}
+	if f.Graph().HasVertex(0) {
+		t.Fatal("vertex 0 still in forest graph")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyInsertCreatesNewVertices(t *testing.T) {
+	f := NewForest(graph.New(), 2)
+	if err := f.Apply(graph.InsertOp(10, 1, 11, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tree(10) == nil || f.Tree(11) == nil {
+		t.Fatal("trees for new vertices missing")
+	}
+	if f.Tree(10).Size() != 2 {
+		t.Fatalf("NNT(10) size = %d; want 2", f.Tree(10).Size())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyIdempotentAndNoops(t *testing.T) {
+	g := pathGraph(t, 3)
+	f := NewForest(g, 2)
+	before := forestCanonical(f)
+	// Re-inserting an existing edge is a no-op.
+	if err := f.Apply(graph.InsertOp(0, 0, 1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting an absent edge is a no-op.
+	if err := f.Apply(graph.DeleteOp(7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := forestCanonical(f); got != before {
+		t.Fatalf("no-op ops changed the forest:\n%s\nvs\n%s", got, before)
+	}
+}
+
+func TestApplyRejectsRelabel(t *testing.T) {
+	g := pathGraph(t, 2)
+	f := NewForest(g, 2)
+	if err := f.Apply(graph.InsertOp(0, 9, 5, 0, 0)); err == nil {
+		t.Fatal("relabel through insert should fail")
+	}
+}
+
+func TestApplySetDeletionsFirst(t *testing.T) {
+	g := pathGraph(t, 3)
+	f := NewForest(g, 3)
+	// Mixed set: delete (1,2) and insert (0,2). If insertions ran first,
+	// the intermediate graph would differ but the final result must match
+	// a rebuild either way; this exercises the normalize path.
+	cs := graph.ChangeSet{
+		graph.InsertOp(0, 0, 2, 2, 0),
+		graph.DeleteOp(1, 2),
+	}
+	if err := f.ApplySet(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertForestMatchesRebuild(t, f)
+}
+
+// forestCanonical renders all trees deterministically.
+func forestCanonical(f *Forest) string {
+	out := ""
+	for _, v := range f.Graph().VertexIDs() {
+		out += f.Tree(v).CanonicalString() + "\n"
+	}
+	return out
+}
+
+// assertForestMatchesRebuild compares an incrementally maintained forest
+// against a from-scratch construction over the same graph.
+func assertForestMatchesRebuild(t *testing.T, f *Forest) {
+	t.Helper()
+	fresh := NewForest(f.Graph(), f.Depth())
+	got, want := forestCanonical(f), forestCanonical(fresh)
+	if got != want {
+		t.Fatalf("incremental forest diverges from rebuild:\nincremental:\n%s\nrebuild:\n%s", got, want)
+	}
+}
+
+// TestIncrementalMatchesRebuildRandomized is the central correctness test:
+// long random op sequences, checking after every op that the incremental
+// forest is identical to a from-scratch build and internally consistent.
+func TestIncrementalMatchesRebuildRandomized(t *testing.T) {
+	for _, depth := range []int{1, 2, 3} {
+		for seed := int64(0); seed < 6; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n := 8
+			g := graph.New()
+			for i := 0; i < n; i++ {
+				_ = g.AddVertex(graph.VertexID(i), graph.Label(r.Intn(3)))
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if r.Float64() < 0.3 {
+						_ = g.AddEdge(graph.VertexID(i), graph.VertexID(j), graph.Label(r.Intn(2)))
+					}
+				}
+			}
+			f := NewForest(g, depth)
+			labels := make(map[graph.VertexID]graph.Label)
+			for i := 0; i < n; i++ {
+				labels[graph.VertexID(i)] = g.MustVertexLabel(graph.VertexID(i))
+			}
+			steps := 40
+			for s := 0; s < steps; s++ {
+				u := graph.VertexID(r.Intn(n))
+				v := graph.VertexID(r.Intn(n))
+				if u == v {
+					continue
+				}
+				var op graph.ChangeOp
+				if f.Graph().HasEdge(u, v) {
+					op = graph.DeleteOp(u, v)
+				} else {
+					op = graph.InsertOp(u, labels[u], v, labels[v], graph.Label(r.Intn(2)))
+				}
+				if err := f.Apply(op); err != nil {
+					t.Fatalf("depth=%d seed=%d step=%d op=%v: %v", depth, seed, s, op, err)
+				}
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("depth=%d seed=%d step=%d op=%v: %v", depth, seed, s, op, err)
+				}
+				fresh := NewForest(f.Graph(), depth)
+				if got, want := forestCanonical(f), forestCanonical(fresh); got != want {
+					t.Fatalf("depth=%d seed=%d step=%d op=%v: incremental diverges\n%s\nvs\n%s",
+						depth, seed, s, op, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTotalNodes(t *testing.T) {
+	g := pathGraph(t, 4)
+	f := NewForest(g, 1)
+	// Each NNT at l=1 is the closed neighborhood: sizes 2,3,3,2 = 10.
+	if got := f.TotalNodes(); got != 10 {
+		t.Fatalf("TotalNodes = %d; want 10", got)
+	}
+}
+
+func TestPathUsesEdge(t *testing.T) {
+	g := pathGraph(t, 3)
+	f := NewForest(g, 2)
+	root := f.Tree(0)
+	child := root.Children[0]  // vertex 1
+	grand := child.Children[0] // vertex 2
+	if !grand.PathUsesEdge(0, 1) || !grand.PathUsesEdge(1, 0) {
+		t.Fatal("path 0→1→2 should use edge {0,1} in both orientations")
+	}
+	if grand.PathUsesEdge(0, 2) {
+		t.Fatal("path 0→1→2 does not use edge {0,2}")
+	}
+	if root.PathUsesEdge(0, 1) {
+		t.Fatal("empty root path uses no edges")
+	}
+}

@@ -1,0 +1,38 @@
+package npv_test
+
+import (
+	"fmt"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// ExampleProjectGraph projects a labeled star and shows the dominance test
+// of Lemma 4.2: the star's center dominates a query vertex with fewer
+// same-label neighbors.
+func ExampleProjectGraph() {
+	// Star: center (label 0) with three label-1 leaves.
+	star := graph.New()
+	_ = star.AddVertex(0, 0)
+	for i := graph.VertexID(1); i <= 3; i++ {
+		_ = star.AddVertex(i, 1)
+		_ = star.AddEdge(0, i, 0)
+	}
+	// Query vertex: a center with two label-1 leaves.
+	q := graph.New()
+	_ = q.AddVertex(0, 0)
+	for i := graph.VertexID(1); i <= 2; i++ {
+		_ = q.AddVertex(i, 1)
+		_ = q.AddEdge(0, i, 0)
+	}
+
+	starCenter := npv.ProjectGraph(star, 2)[0]
+	queryCenter := npv.ProjectGraph(q, 2)[0]
+	fmt.Println("star center:", starCenter)
+	fmt.Println("query center:", queryCenter)
+	fmt.Println("dominates:", starCenter.Dominates(queryCenter))
+	// Output:
+	// star center: {(1,0-0->1):3}
+	// query center: {(1,0-0->1):2}
+	// dominates: true
+}

@@ -1,0 +1,147 @@
+package npv
+
+import (
+	"nntstream/internal/graph"
+	"nntstream/internal/nnt"
+)
+
+// Space holds the node-projected vectors of every vertex of one graph. It
+// implements nnt.Observer, so attaching a Space to a Forest at construction
+// time keeps the vectors synchronized with the trees at zero extra traversal
+// cost (Procedure TreeProjection runs implicitly, one increment per tree
+// edge event).
+type Space struct {
+	vectors map[graph.VertexID]Vector
+	labels  map[graph.VertexID]graph.Label
+	dirty   map[graph.VertexID]struct{}
+	// Tree edge events cluster by root (a maintenance step expands or
+	// destroys whole subtrees of one tree), so the last-touched root's
+	// vector and dirty status are memoized to skip repeated map lookups.
+	lastRoot  graph.VertexID
+	lastVec   Vector
+	lastValid bool
+}
+
+var _ nnt.Observer = (*Space)(nil)
+
+// NewSpace returns an empty space, ready to be passed to nnt.NewForest.
+func NewSpace() *Space {
+	return &Space{
+		vectors: make(map[graph.VertexID]Vector),
+		labels:  make(map[graph.VertexID]graph.Label),
+		dirty:   make(map[graph.VertexID]struct{}),
+	}
+}
+
+// TreeAdded implements nnt.Observer.
+func (s *Space) TreeAdded(root graph.VertexID, rootLabel graph.Label) {
+	vec := make(Vector)
+	s.vectors[root] = vec
+	s.labels[root] = rootLabel
+	s.dirty[root] = struct{}{}
+	s.lastRoot, s.lastVec, s.lastValid = root, vec, true
+}
+
+// TreeRemoved implements nnt.Observer.
+func (s *Space) TreeRemoved(root graph.VertexID) {
+	delete(s.vectors, root)
+	delete(s.labels, root)
+	s.dirty[root] = struct{}{}
+	s.lastValid = false
+}
+
+// vecFor returns root's vector, marking it dirty, through the memo.
+func (s *Space) vecFor(root graph.VertexID) Vector {
+	if s.lastValid && s.lastRoot == root {
+		return s.lastVec
+	}
+	vec := s.vectors[root]
+	s.dirty[root] = struct{}{}
+	s.lastRoot, s.lastVec, s.lastValid = root, vec, true
+	return vec
+}
+
+// TreeEdgeAdded implements nnt.Observer.
+func (s *Space) TreeEdgeAdded(root graph.VertexID, level int, pl, el, cl graph.Label) {
+	s.vecFor(root).Add(NewDim(byte(level), pl, el, cl), 1)
+}
+
+// TreeEdgeRemoved implements nnt.Observer.
+func (s *Space) TreeEdgeRemoved(root graph.VertexID, level int, pl, el, cl graph.Label) {
+	s.vecFor(root).Add(NewDim(byte(level), pl, el, cl), -1)
+}
+
+// Vector returns the NPV of v, or nil when v is absent. Callers must not
+// mutate the result.
+func (s *Space) Vector(v graph.VertexID) Vector { return s.vectors[v] }
+
+// RootLabel returns the vertex label of v as last observed.
+func (s *Space) RootLabel(v graph.VertexID) (graph.Label, bool) {
+	l, ok := s.labels[v]
+	return l, ok
+}
+
+// Len reports the number of vectors (vertices) in the space.
+func (s *Space) Len() int { return len(s.vectors) }
+
+// Vectors calls fn for every (vertex, vector) pair. Iteration order is
+// unspecified; fn returning false stops iteration.
+func (s *Space) Vectors(fn func(v graph.VertexID, vec Vector) bool) {
+	for v, vec := range s.vectors {
+		if !fn(v, vec) {
+			return
+		}
+	}
+}
+
+// TakeDirty returns the vertices whose vectors changed (or were added or
+// removed) since the previous call, and resets the dirty set. Join
+// strategies use this to touch only changed vertices per timestamp.
+func (s *Space) TakeDirty() []graph.VertexID {
+	// Invalidate the event memo: it implies a standing dirty mark, which
+	// this call clears.
+	s.lastValid = false
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	out := make([]graph.VertexID, 0, len(s.dirty))
+	for v := range s.dirty {
+		out = append(out, v)
+	}
+	s.dirty = make(map[graph.VertexID]struct{})
+	return out
+}
+
+// ProjectTree computes the NPV of a single node-neighbor tree from scratch
+// (Procedure TreeProjection, Figure 6). It is the reference implementation
+// that the incremental Space is validated against, and the path used for
+// static query graphs.
+func ProjectTree(root *nnt.Node) Vector {
+	v := make(Vector)
+	var walk func(n *nnt.Node)
+	walk = func(n *nnt.Node) {
+		for _, c := range n.Children {
+			v.Add(NewDim(byte(c.Depth), n.VLabel, c.EdgeLabel, c.VLabel), 1)
+			walk(c)
+		}
+	}
+	walk(root)
+	return v
+}
+
+// ProjectForest computes all NPVs of a forest from scratch.
+func ProjectForest(f *nnt.Forest) map[graph.VertexID]Vector {
+	out := make(map[graph.VertexID]Vector)
+	f.Roots(func(v graph.VertexID, root *nnt.Node) bool {
+		out[v] = ProjectTree(root)
+		return true
+	})
+	return out
+}
+
+// ProjectGraph is a convenience that builds the depth-l forest of g and
+// returns its NPVs together with the vertex labels. It is the one-shot path
+// for static graphs (queries are projected once at registration).
+func ProjectGraph(g *graph.Graph, depth int) map[graph.VertexID]Vector {
+	return ProjectForest(nnt.NewForest(g, depth))
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+)
+
+// Engine is the monitoring surface the server drives. Both core.Monitor and
+// core.ShardedMonitor satisfy it.
+type Engine interface {
+	AddQuery(q *graph.Graph) (core.QueryID, error)
+	AddStream(g0 *graph.Graph) (core.StreamID, error)
+	StepAll(changes map[core.StreamID]graph.ChangeSet) ([]core.Pair, error)
+	Candidates() []core.Pair
+	Stats() core.Stats
+}
+
+// QueryRemover is the optional dynamic-query surface (DELETE /v1/queries).
+type QueryRemover interface {
+	RemoveQuery(id core.QueryID) error
+}
+
+// Server serializes access to an Engine behind an HTTP API. Engines are not
+// safe for concurrent use; the server's mutex makes each request atomic.
+type Server struct {
+	mu     sync.Mutex
+	engine Engine
+}
+
+// New wraps an engine.
+func New(engine Engine) *Server { return &Server{engine: engine} }
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/queries", s.handleQueries)
+	mux.HandleFunc("/v1/queries/", s.handleQueryByID)
+	mux.HandleFunc("/v1/streams", s.handleStreams)
+	mux.HandleFunc("/v1/step", s.handleStep)
+	mux.HandleFunc("/v1/candidates", s.handleCandidates)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type graphRequest struct {
+	Graph WireGraph `json:"graph"`
+}
+
+type idResponse struct {
+	ID int `json:"id"`
+}
+
+type stepRequest struct {
+	// Changes maps stream IDs (as JSON object keys, hence strings) to
+	// operation lists.
+	Changes map[string][]WireOp `json:"changes"`
+}
+
+type pairsResponse struct {
+	Pairs []WirePair `json:"pairs"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req graphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	s.mu.Lock()
+	id, err := s.engine.AddQuery(g)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+}
+
+func (s *Server) handleQueryByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "DELETE only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/queries/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query id %q", idStr)
+		return
+	}
+	remover, ok := s.engine.(QueryRemover)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "engine does not support query removal")
+		return
+	}
+	s.mu.Lock()
+	err = remover.RemoveQuery(core.QueryID(id))
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req graphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	s.mu.Lock()
+	id, err := s.engine.AddStream(g)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	changes := make(map[core.StreamID]graph.ChangeSet, len(req.Changes))
+	for key, ops := range req.Changes {
+		sid, err := strconv.Atoi(key)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad stream id %q", key)
+			return
+		}
+		var cs graph.ChangeSet
+		for i, wop := range ops {
+			op, err := wop.ToChangeOp()
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "stream %s op %d: %v", key, i, err)
+				return
+			}
+			cs = append(cs, op)
+		}
+		changes[core.StreamID(sid)] = cs
+	}
+	s.mu.Lock()
+	pairs, err := s.engine.StepAll(changes)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pairsResponse{Pairs: wirePairs(pairs)})
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	pairs := s.engine.Candidates()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, pairsResponse{Pairs: wirePairs(pairs)})
+}
+
+type statsResponse struct {
+	Timestamps     int     `json:"timestamps"`
+	AvgFilterMs    float64 `json:"avg_filter_ms"`
+	CandidateRatio float64 `json:"candidate_ratio"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	st := s.engine.Stats()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Timestamps:     st.Timestamps,
+		AvgFilterMs:    float64(st.AvgTimePerTimestamp()) / float64(time.Millisecond),
+		CandidateRatio: st.CandidateRatio(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

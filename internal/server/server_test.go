@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/join"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(core.NewMonitor(join.NewDSC(3))).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]json.RawMessage{}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func edgeGraph(ul, vl uint16) WireGraph {
+	return WireGraph{
+		Vertices: []WireVertex{{ID: 0, Label: ul}, {ID: 1, Label: vl}},
+		Edges:    []WireEdge{{U: 0, V: 1, Label: 0}},
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := testServer(t)
+
+	// Health.
+	resp, _ := do(t, http.MethodGet, srv.URL+"/v1/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Register a query (A-B) and a stream (A-C).
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/queries", graphRequest{Graph: edgeGraph(0, 1)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query = %d", resp.StatusCode)
+	}
+	var qid idResponse
+	if err := json.Unmarshal(body["id"], &qid.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = do(t, http.MethodPost, srv.URL+"/v1/streams", graphRequest{Graph: edgeGraph(0, 2)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add stream = %d", resp.StatusCode)
+	}
+	var sid int
+	if err := json.Unmarshal(body["id"], &sid); err != nil {
+		t.Fatal(err)
+	}
+
+	// No candidates yet.
+	resp, body = do(t, http.MethodGet, srv.URL+"/v1/candidates", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("candidates = %d", resp.StatusCode)
+	}
+	var pairs []WirePair
+	_ = json.Unmarshal(body["pairs"], &pairs)
+	if len(pairs) != 0 {
+		t.Fatalf("pairs = %v; want none", pairs)
+	}
+
+	// Step: attach a B vertex; the query should match.
+	step := stepRequest{Changes: map[string][]WireOp{
+		fmt.Sprint(sid): {{Op: "ins", U: 0, V: 7, ULabel: 0, VLabel: 1, ELabel: 0}},
+	}}
+	resp, body = do(t, http.MethodPost, srv.URL+"/v1/step", step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step = %d", resp.StatusCode)
+	}
+	_ = json.Unmarshal(body["pairs"], &pairs)
+	if len(pairs) != 1 || pairs[0].Query != qid.ID || pairs[0].Stream != sid {
+		t.Fatalf("pairs = %v", pairs)
+	}
+
+	// Stats reflect one timestamp.
+	resp, body = do(t, http.MethodGet, srv.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var ts int
+	_ = json.Unmarshal(body["timestamps"], &ts)
+	if ts != 1 {
+		t.Fatalf("timestamps = %d", ts)
+	}
+
+	// Dynamic removal (DSC supports it).
+	resp, _ = do(t, http.MethodDelete, fmt.Sprintf("%s/v1/queries/%d", srv.URL, qid.ID), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete query = %d", resp.StatusCode)
+	}
+	resp, body = do(t, http.MethodGet, srv.URL+"/v1/candidates", nil)
+	_ = json.Unmarshal(body["pairs"], &pairs)
+	if len(pairs) != 0 {
+		t.Fatalf("pairs after removal = %v", pairs)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodGet, "/v1/queries", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/candidates", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/step", "not json", http.StatusBadRequest},
+		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{"x": nil}}, http.StatusBadRequest},
+		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{"42": nil}}, http.StatusBadRequest}, // unknown stream
+		{http.MethodDelete, "/v1/queries/zzz", nil, http.StatusBadRequest},
+		{http.MethodDelete, "/v1/queries/99", nil, http.StatusNotFound},
+		{http.MethodPost, "/v1/queries", graphRequest{Graph: WireGraph{
+			Edges: []WireEdge{{U: 0, V: 1}},
+		}}, http.StatusBadRequest}, // edge without vertices
+		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{
+			"0": {{Op: "frobnicate"}},
+		}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, _ := do(t, c.method, srv.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Fatalf("case %d (%s %s): status %d; want %d", i, c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	wg := edgeGraph(3, 4)
+	g, err := wg.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromGraph(g)
+	if len(back.Vertices) != 2 || len(back.Edges) != 1 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Vertices[0].Label != 3 || back.Edges[0].U != 0 {
+		t.Fatalf("round trip content = %+v", back)
+	}
+	if _, err := (WireOp{Op: "nope"}).ToChangeOp(); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}

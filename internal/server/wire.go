@@ -1,0 +1,108 @@
+// Package server exposes a continuous-monitoring engine over HTTP/JSON: a
+// long-running service that accepts query patterns and graph streams,
+// advances global timestamps from posted change sets, and reports the
+// possibly-joinable pairs — the deployment shape of the paper's motivating
+// application (a monitoring daemon fed by live traffic).
+//
+// The API is versioned under /v1:
+//
+//	POST   /v1/queries     {"graph": {...}}            → {"id": 0}
+//	DELETE /v1/queries/0                               (dynamic filters)
+//	POST   /v1/streams     {"graph": {...}}            → {"id": 0}
+//	POST   /v1/step        {"changes": {"0": [{...}]}} → {"pairs": [...]}
+//	GET    /v1/candidates                              → {"pairs": [...]}
+//	GET    /v1/stats
+//	GET    /v1/healthz
+package server
+
+import (
+	"fmt"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+)
+
+// WireGraph is the JSON form of a labeled graph.
+type WireGraph struct {
+	Vertices []WireVertex `json:"vertices"`
+	Edges    []WireEdge   `json:"edges"`
+}
+
+// WireVertex is one labeled vertex.
+type WireVertex struct {
+	ID    int32  `json:"id"`
+	Label uint16 `json:"label"`
+}
+
+// WireEdge is one labeled undirected edge.
+type WireEdge struct {
+	U     int32  `json:"u"`
+	V     int32  `json:"v"`
+	Label uint16 `json:"label"`
+}
+
+// WireOp is one graph change operation. Op is "ins" or "del"; labels are
+// required for insertions only.
+type WireOp struct {
+	Op     string `json:"op"`
+	U      int32  `json:"u"`
+	V      int32  `json:"v"`
+	ULabel uint16 `json:"ulabel,omitempty"`
+	VLabel uint16 `json:"vlabel,omitempty"`
+	ELabel uint16 `json:"elabel,omitempty"`
+}
+
+// WirePair is one reported (stream, query) pair.
+type WirePair struct {
+	Stream int `json:"stream"`
+	Query  int `json:"query"`
+}
+
+// ToGraph validates and converts the wire form.
+func (w WireGraph) ToGraph() (*graph.Graph, error) {
+	g := graph.New()
+	for _, v := range w.Vertices {
+		if err := g.AddVertex(graph.VertexID(v.ID), graph.Label(v.Label)); err != nil {
+			return nil, fmt.Errorf("vertex %d: %w", v.ID, err)
+		}
+	}
+	for _, e := range w.Edges {
+		if err := g.AddEdge(graph.VertexID(e.U), graph.VertexID(e.V), graph.Label(e.Label)); err != nil {
+			return nil, fmt.Errorf("edge {%d,%d}: %w", e.U, e.V, err)
+		}
+	}
+	return g, nil
+}
+
+// FromGraph converts a graph to wire form.
+func FromGraph(g *graph.Graph) WireGraph {
+	var w WireGraph
+	for _, v := range g.VertexIDs() {
+		w.Vertices = append(w.Vertices, WireVertex{ID: int32(v), Label: uint16(g.MustVertexLabel(v))})
+	}
+	for _, e := range g.Edges() {
+		w.Edges = append(w.Edges, WireEdge{U: int32(e.U), V: int32(e.V), Label: uint16(e.Label)})
+	}
+	return w
+}
+
+// ToChangeOp validates and converts one wire op.
+func (w WireOp) ToChangeOp() (graph.ChangeOp, error) {
+	switch w.Op {
+	case "ins":
+		return graph.InsertOp(graph.VertexID(w.U), graph.Label(w.ULabel),
+			graph.VertexID(w.V), graph.Label(w.VLabel), graph.Label(w.ELabel)), nil
+	case "del":
+		return graph.DeleteOp(graph.VertexID(w.U), graph.VertexID(w.V)), nil
+	default:
+		return graph.ChangeOp{}, fmt.Errorf("unknown op %q (want ins or del)", w.Op)
+	}
+}
+
+func wirePairs(pairs []core.Pair) []WirePair {
+	out := make([]WirePair, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, WirePair{Stream: int(p.Stream), Query: int(p.Query)})
+	}
+	return out
+}

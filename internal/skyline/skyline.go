@@ -1,0 +1,72 @@
+// Package skyline provides the monochromatic and bichromatic skyline
+// computations over node-projected vectors used by the skyline-with-early-
+// stop join (Section IV-B.2). Dominance follows Lemma 4.2: v dominates u
+// when v's count is ≥ u's on every dimension of u's support, so "maximal"
+// vectors are the hardest to dominate.
+package skyline
+
+import "nntstream/internal/npv"
+
+// Maximal returns the monochromatic skyline of the vector set under the
+// paper's dominance order: the distinct vectors not dominated by any other
+// distinct vector in the set. Duplicate vectors are collapsed to one
+// representative — for the join's purposes equal vectors are
+// interchangeable. The result aliases no input storage beyond the vectors
+// themselves.
+func Maximal(vecs []npv.Vector) []npv.Vector {
+	// Deduplicate by value.
+	var uniq []npv.Vector
+	for _, v := range vecs {
+		dup := false
+		for _, u := range uniq {
+			if u.Equal(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, v)
+		}
+	}
+	var out []npv.Vector
+	for i, v := range uniq {
+		dominated := false
+		for j, w := range uniq {
+			if i == j {
+				continue
+			}
+			if w.Dominates(v) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsBichromaticSkyline reports whether u is a bichromatic skyline point of
+// its set with respect to the given opposing set: no opposing vector
+// dominates it.
+func IsBichromaticSkyline(u npv.Vector, opposing []npv.Vector) bool {
+	for _, v := range opposing {
+		if v.Dominates(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bichromatic returns the vectors of set that no vector of opposing
+// dominates.
+func Bichromatic(set, opposing []npv.Vector) []npv.Vector {
+	var out []npv.Vector
+	for _, u := range set {
+		if IsBichromaticSkyline(u, opposing) {
+			out = append(out, u)
+		}
+	}
+	return out
+}

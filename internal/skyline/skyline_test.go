@@ -1,0 +1,131 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// dim builds the i-th test dimension.
+func dim(i int) npv.Dim {
+	return npv.NewDim(1, 0, 0, graph.Label(i))
+}
+
+// vec builds a vector from dense coordinates: value at index i goes to
+// dimension dim(i); zeros are skipped.
+func vec(coords ...int32) npv.Vector {
+	v := make(npv.Vector)
+	for i, c := range coords {
+		if c != 0 {
+			v.Add(dim(i), c)
+		}
+	}
+	return v
+}
+
+func containsVec(set []npv.Vector, v npv.Vector) bool {
+	for _, u := range set {
+		if u.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMaximalBasic(t *testing.T) {
+	a := vec(1, 1)
+	b := vec(0, 3)
+	c := vec(2, 3) // dominates a and b
+	d := vec(3, 1) // dominates a
+	max := Maximal([]npv.Vector{a, b, c, d})
+	if len(max) != 2 || !containsVec(max, c) || !containsVec(max, d) {
+		t.Fatalf("Maximal = %v; want {c,d}", max)
+	}
+}
+
+func TestMaximalCollapsesDuplicates(t *testing.T) {
+	a := vec(2, 2)
+	b := vec(2, 2)
+	max := Maximal([]npv.Vector{a, b})
+	if len(max) != 1 {
+		t.Fatalf("Maximal with duplicates = %v; want one representative", max)
+	}
+}
+
+func TestMaximalIncomparable(t *testing.T) {
+	a := vec(3, 0)
+	b := vec(0, 3)
+	max := Maximal([]npv.Vector{a, b})
+	if len(max) != 2 {
+		t.Fatalf("incomparable vectors should both be maximal: %v", max)
+	}
+}
+
+func TestMaximalEmpty(t *testing.T) {
+	if got := Maximal(nil); got != nil {
+		t.Fatalf("Maximal(nil) = %v", got)
+	}
+	// The empty vector is dominated by everything, so with company it is
+	// not maximal.
+	max := Maximal([]npv.Vector{vec(), vec(1)})
+	if len(max) != 1 || !containsVec(max, vec(1)) {
+		t.Fatalf("Maximal = %v", max)
+	}
+}
+
+func TestBichromatic(t *testing.T) {
+	queries := []npv.Vector{vec(1, 1), vec(4, 0)}
+	stream := []npv.Vector{vec(2, 2), vec(3, 3)}
+	// vec(1,1) is dominated by both stream vectors; vec(4,0) by neither.
+	if !IsBichromaticSkyline(vec(4, 0), stream) {
+		t.Fatal("vec(4,0) should be a bichromatic skyline point")
+	}
+	if IsBichromaticSkyline(vec(1, 1), stream) {
+		t.Fatal("vec(1,1) is dominated; not a skyline point")
+	}
+	sky := Bichromatic(queries, stream)
+	if len(sky) != 1 || !sky[0].Equal(vec(4, 0)) {
+		t.Fatalf("Bichromatic = %v", sky)
+	}
+}
+
+// TestQuickMaximalCoverage: every input vector is dominated by some maximal
+// vector (the property the skyline join's query-side optimization rests on).
+func TestQuickMaximalCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		var vecs []npv.Vector
+		for i := 0; i < n; i++ {
+			vecs = append(vecs, vec(int32(r.Intn(4)), int32(r.Intn(4)), int32(r.Intn(4))))
+		}
+		max := Maximal(vecs)
+		for _, v := range vecs {
+			covered := false
+			for _, m := range max {
+				if m.Dominates(v) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		// And no maximal vector is dominated by a distinct input vector.
+		for _, m := range max {
+			for _, v := range vecs {
+				if !v.Equal(m) && v.Dominates(m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package static_test
+
+import (
+	"fmt"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/static"
+)
+
+// ExampleIndex shows the filter-and-verify pipeline over a static database:
+// the NPV index prunes, exact isomorphism confirms.
+func ExampleIndex() {
+	// A two-graph database: an A-B-C path and an A-B edge.
+	path := graph.New()
+	_ = path.AddVertex(0, 0)
+	_ = path.AddVertex(1, 1)
+	_ = path.AddVertex(2, 2)
+	_ = path.AddEdge(0, 1, 0)
+	_ = path.AddEdge(1, 2, 0)
+
+	edge := graph.New()
+	_ = edge.AddVertex(0, 0)
+	_ = edge.AddVertex(1, 1)
+	_ = edge.AddEdge(0, 1, 0)
+
+	ix := static.NewIndex([]*graph.Graph{path, edge}, 3)
+
+	// Query: B-C. Only the path contains it.
+	q := graph.New()
+	_ = q.AddVertex(0, 1)
+	_ = q.AddVertex(1, 2)
+	_ = q.AddEdge(0, 1, 0)
+
+	answers, stats := ix.SearchWithStats(q)
+	fmt.Println("answers:", answers)
+	fmt.Println("candidates:", stats.Candidates)
+	// Output:
+	// answers: [0]
+	// candidates: 1
+}

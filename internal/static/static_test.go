@@ -1,0 +1,97 @@
+package static
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nntstream/internal/datagen"
+	"nntstream/internal/graph"
+	"nntstream/internal/iso"
+)
+
+func smallDB(seed int64, n int) []*graph.Graph {
+	cfg := datagen.SyntheticConfig{
+		NumGraphs: n, NumSeeds: 5, SeedSize: 4, GraphSize: 15,
+		VertexLabels: 3, EdgeLabels: 2, OverlapProb: 0.3,
+	}
+	return datagen.Synthetic(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func TestSearchMatchesExact(t *testing.T) {
+	db := smallDB(1, 40)
+	ix := NewIndex(db, 3)
+	if ix.Len() != 40 || ix.Depth() != 3 {
+		t.Fatal("index metadata wrong")
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 15; i++ {
+		q := datagen.RandomConnectedSubgraph(db[r.Intn(len(db))], 2+r.Intn(6), r)
+		want := iso.FilterDatabase(q, db)
+		got := ix.Search(q)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: Search = %v; exact = %v", i, got, want)
+		}
+	}
+}
+
+func TestCandidatesSupersetOfAnswers(t *testing.T) {
+	db := smallDB(3, 40)
+	ix := NewIndex(db, 2)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 15; i++ {
+		q := datagen.RandomConnectedSubgraph(db[r.Intn(len(db))], 2+r.Intn(6), r)
+		cands := map[int]bool{}
+		for _, c := range ix.Candidates(q) {
+			cands[c] = true
+		}
+		for _, a := range iso.FilterDatabase(q, db) {
+			if !cands[a] {
+				t.Fatalf("query %d: answer graph %d pruned by filter", i, a)
+			}
+		}
+	}
+}
+
+func TestSearchWithStats(t *testing.T) {
+	db := smallDB(5, 30)
+	ix := NewIndex(db, 3)
+	r := rand.New(rand.NewSource(6))
+	q := datagen.RandomConnectedSubgraph(db[0], 3, r)
+	answers, stats := ix.SearchWithStats(q)
+	if stats.Database != 30 {
+		t.Fatalf("stats.Database = %d", stats.Database)
+	}
+	if stats.Answers != len(answers) {
+		t.Fatalf("stats.Answers = %d; got %d answers", stats.Answers, len(answers))
+	}
+	if stats.Candidates < stats.Answers {
+		t.Fatalf("candidates %d < answers %d", stats.Candidates, stats.Answers)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if ix.Graph(0) != db[0] {
+		t.Fatal("Graph accessor broken")
+	}
+}
+
+// TestQuickNoFalseNegatives is the index-level soundness property across
+// random databases and depths.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := smallDB(seed, 10)
+		depth := 1 + r.Intn(3)
+		ix := NewIndex(db, depth)
+		src := db[r.Intn(len(db))]
+		q := datagen.RandomConnectedSubgraph(src, 1+r.Intn(5), r)
+		want := iso.FilterDatabase(q, db)
+		got := ix.Search(q)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
