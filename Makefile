@@ -1,0 +1,26 @@
+# Verification gate: everything CI (and a pre-commit run) should enforce.
+GO ?= go
+
+.PHONY: verify fmt vet build test race
+
+verify: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engines and the HTTP server claim concurrent-read safety; hold them to
+# it under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/server/...

@@ -3,7 +3,7 @@
 // filter instances for multi-core throughput.
 //
 //	serve [-addr :8080] [-filter dsc|skyline|nl|branch|graphgrep|gindex1|gindex2|exact]
-//	      [-depth 3] [-shards 0]
+//	      [-depth 3] [-shards 0] [-pprof addr] [-metrics-interval d]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +34,8 @@ func main() {
 	depth := flag.Int("depth", join.DefaultDepth, "NNT depth bound for the NPV filters")
 	shards := flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS; 1 disables sharding; snapshots require 1)")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored on boot if present, written on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	metricsInterval := flag.Duration("metrics-interval", 0, "log engine stats at this interval (e.g. 30s); 0 disables")
 	flag.Parse()
 
 	factory, err := filterFactory(*filterName, *depth)
@@ -65,9 +68,10 @@ func main() {
 		engine = core.NewShardedMonitor(core.FilterFactory(factory), *shards)
 	}
 
+	srv := server.New(engine)
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine).Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -77,8 +81,33 @@ func main() {
 		}
 	}()
 
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			// DefaultServeMux carries the net/http/pprof handlers; keep it off
+			// the API listener so profiling stays on an operator-only port.
+			pprofServer := &http.Server{Addr: *pprofAddr, ReadHeaderTimeout: 5 * time.Second}
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *metricsInterval > 0 {
+		ticker := time.NewTicker(*metricsInterval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				st := srv.Stats()
+				log.Printf("stats: timestamps=%d avg_filter=%v candidate_ratio=%.4f",
+					st.Timestamps, st.AvgTimePerTimestamp(), st.CandidateRatio())
+			}
+		}()
+	}
+
 	<-stop
 	log.Print("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

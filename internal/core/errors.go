@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors classifying engine failures. The HTTP layer
+// (internal/server) maps these onto status codes with errors.Is, so engine
+// methods wrap them with %w rather than formatting ad-hoc strings.
+var (
+	// ErrUnknownStream reports an operation on a stream ID that was never
+	// registered (or, in future, was retired).
+	ErrUnknownStream = errors.New("unknown stream")
+	// ErrUnknownQuery reports an operation on a query ID that is not
+	// registered.
+	ErrUnknownQuery = errors.New("unknown query")
+	// ErrSealed reports a query registration after the first stream on a
+	// filter that requires the paper's fixed query workload (that is, one
+	// not implementing DynamicFilter).
+	ErrSealed = errors.New("query workload is sealed: all queries must precede the first stream")
+	// ErrUnsupported reports an operation the configured filter cannot
+	// perform (for example query removal on a non-dynamic filter).
+	ErrUnsupported = errors.New("operation not supported by this filter")
+)

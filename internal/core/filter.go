@@ -50,6 +50,11 @@ func SortPairs(ps []Pair) []Pair {
 // AddQuery/AddStream/Apply calls, Candidates contains every pair (G,Q) for
 // which Q is subgraph-isomorphic to the current graph of G. False positives
 // are permitted (fewer is better); false negatives are not.
+//
+// Candidates is additionally a read path: engines allow multiple Candidates
+// calls to run concurrently with each other (never with a mutating call), so
+// implementations must either not mutate observable state in Candidates or
+// synchronize such mutation internally (see gindex's lazy re-mining).
 type Filter interface {
 	// Name identifies the filter in reports and benchmarks.
 	Name() string

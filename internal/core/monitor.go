@@ -6,11 +6,17 @@ import (
 
 	"nntstream/internal/graph"
 	"nntstream/internal/iso"
+	"nntstream/internal/obs"
 )
 
 // Monitor drives a Filter over a workload of queries and streams, keeps the
 // canonical stream graphs for verification, and accumulates timing and
 // effectiveness statistics.
+//
+// Monitor is not safe for concurrent mutation; callers (see internal/server)
+// serialize writes. Concurrent read-only calls (Candidates, Stats) are safe
+// provided no mutating call runs at the same time and the wrapped filter's
+// Candidates does not mutate observable state (the Filter contract).
 type Monitor struct {
 	filter   Filter
 	queries  map[QueryID]*graph.Graph
@@ -20,6 +26,7 @@ type Monitor struct {
 	nextS    StreamID
 	sealed   bool // set once the first stream is added; no more queries
 	stats    Stats
+	metrics  *EngineMetrics
 }
 
 // Stats accumulates per-run measurements.
@@ -65,20 +72,32 @@ func NewMonitor(f Filter) *Monitor {
 // Filter returns the wrapped filter.
 func (m *Monitor) Filter() Filter { return m.filter }
 
+// SetMetrics attaches registry instruments; subsequent StepAll rounds record
+// into them. A nil argument detaches.
+func (m *Monitor) SetMetrics(em *EngineMetrics) { m.metrics = em }
+
+// CollectMetrics implements obs.Collector by delegating to the wrapped
+// filter when it is itself a collector.
+func (m *Monitor) CollectMetrics(emit func(name string, value float64)) {
+	if c, ok := m.filter.(obs.Collector); ok {
+		c.CollectMetrics(emit)
+	}
+}
+
 // AddQuery registers a query pattern. The paper's base model fixes the
 // query set before streaming starts; filters implementing DynamicFilter
 // (its stated future work) also accept queries while streams are live.
 func (m *Monitor) AddQuery(q *graph.Graph) (QueryID, error) {
 	if m.sealed {
 		if _, ok := m.filter.(DynamicFilter); !ok {
-			return 0, fmt.Errorf("core: filter %s requires all queries before streams", m.filter.Name())
+			return 0, fmt.Errorf("core: filter %s: %w", m.filter.Name(), ErrSealed)
 		}
 	}
 	id := m.nextQ
-	m.nextQ++
 	if err := m.filter.AddQuery(id, q); err != nil {
 		return 0, err
 	}
+	m.nextQ++ // allocate the ID only on success so a failed add leaks nothing
 	m.queries[id] = q.Clone()
 	m.matchers[id] = iso.NewMatcher(m.queries[id])
 	return id, nil
@@ -88,10 +107,10 @@ func (m *Monitor) AddQuery(q *graph.Graph) (QueryID, error) {
 func (m *Monitor) RemoveQuery(id QueryID) error {
 	df, ok := m.filter.(DynamicFilter)
 	if !ok {
-		return fmt.Errorf("core: filter %s does not support query removal", m.filter.Name())
+		return fmt.Errorf("core: filter %s query removal: %w", m.filter.Name(), ErrUnsupported)
 	}
 	if _, ok := m.queries[id]; !ok {
-		return fmt.Errorf("core: unknown query %d", id)
+		return fmt.Errorf("core: %w %d", ErrUnknownQuery, id)
 	}
 	if err := df.RemoveQuery(id); err != nil {
 		return err
@@ -105,10 +124,10 @@ func (m *Monitor) RemoveQuery(id QueryID) error {
 func (m *Monitor) AddStream(g0 *graph.Graph) (StreamID, error) {
 	m.sealed = true
 	id := m.nextS
-	m.nextS++
 	if err := m.filter.AddStream(id, g0); err != nil {
 		return 0, err
 	}
+	m.nextS++
 	m.streams[id] = g0.Clone()
 	return id, nil
 }
@@ -128,27 +147,30 @@ func (m *Monitor) Query(id QueryID) *graph.Graph { return m.queries[id] }
 // one stream (streams without an entry are unchanged), then the filter's
 // candidate set is collected. It returns the candidates and records stats.
 func (m *Monitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	var applyDur time.Duration
 	for id, cs := range changes {
 		g, ok := m.streams[id]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown stream %d", id)
+			return nil, fmt.Errorf("core: %w %d", ErrUnknownStream, id)
 		}
 		norm := cs.Normalize()
 		start := time.Now()
 		if err := m.filter.Apply(id, norm); err != nil {
 			return nil, fmt.Errorf("core: filter %s apply on stream %d: %w", m.filter.Name(), id, err)
 		}
-		m.stats.FilterTime += time.Since(start)
+		applyDur += time.Since(start)
 		if err := norm.Apply(g); err != nil {
 			return nil, fmt.Errorf("core: canonical graph of stream %d: %w", id, err)
 		}
 	}
 	start := time.Now()
 	cands := m.filter.Candidates()
-	m.stats.FilterTime += time.Since(start)
+	collectDur := time.Since(start)
+	m.stats.FilterTime += applyDur + collectDur
 	m.stats.Timestamps++
 	m.stats.CandidatePairs += int64(len(cands))
 	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
+	m.metrics.observeStep(applyDur, collectDur, len(cands), m.stats, len(m.streams), len(m.queries))
 	return cands, nil
 }
 

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"nntstream/internal/graph"
+	"nntstream/internal/obs"
 )
 
 // passthrough is a trivial filter that reports every pair as a candidate —
@@ -145,5 +148,55 @@ func TestStatsZeroDivision(t *testing.T) {
 	var s Stats
 	if s.AvgTimePerTimestamp() != 0 || s.CandidateRatio() != 0 {
 		t.Fatal("zero stats should not divide by zero")
+	}
+}
+
+func TestMonitorSentinelErrors(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0}, nil)
+	if _, err := m.AddStream(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddQuery(g); !errors.Is(err, ErrSealed) {
+		t.Fatalf("post-stream AddQuery error = %v; want ErrSealed", err)
+	}
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{7: nil}); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("StepAll error = %v; want ErrUnknownStream", err)
+	}
+	if err := m.RemoveQuery(0); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("RemoveQuery error = %v; want ErrUnsupported (passthrough is not dynamic)", err)
+	}
+}
+
+func TestMonitorRecordsMetrics(t *testing.T) {
+	m := NewMonitor(&passthrough{})
+	reg := obs.NewRegistry()
+	em := NewEngineMetrics(reg)
+	m.SetMetrics(em)
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if _, err := m.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	sid, err := m.AddStream(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(sid, graph.ChangeSet{graph.InsertOp(1, 1, 2, 2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if em.Timestamps.Value() != 1 || em.ApplySeconds.Count() != 1 || em.CollectSeconds.Count() != 1 {
+		t.Fatalf("metrics not recorded: ts=%d apply=%d collect=%d",
+			em.Timestamps.Value(), em.ApplySeconds.Count(), em.CollectSeconds.Count())
+	}
+	if em.CandidateRatio.Value() != 1 || em.CandidatePairs.Value() != 1 {
+		t.Fatalf("ratio=%v pairs=%d", em.CandidateRatio.Value(), em.CandidatePairs.Value())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "nntstream_engine_apply_seconds_bucket") {
+		t.Fatalf("exposition missing apply histogram:\n%s", b.String())
 	}
 }

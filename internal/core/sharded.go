@@ -8,6 +8,7 @@ import (
 
 	"nntstream/internal/graph"
 	"nntstream/internal/iso"
+	"nntstream/internal/obs"
 )
 
 // FilterFactory builds one filter instance per shard.
@@ -21,8 +22,18 @@ type FilterFactory func() Filter
 //
 // The candidate set of a ShardedMonitor is identical to a single Monitor
 // over the same filter type; only wall-clock time differs.
+//
+// Unlike Monitor, ShardedMonitor is safe for concurrent use: mutating calls
+// (AddQuery, AddStream, RemoveQuery, StepAll) serialize behind a write lock,
+// while the read paths (Candidates, Stats, ExactPairs, CollectMetrics) share
+// a read lock and may run concurrently with one another. Filters must honor
+// the Filter contract that Candidates does not mutate observable state (or
+// must synchronize internally), because concurrent readers fan out to the
+// same filter instances.
 type ShardedMonitor struct {
+	mu       sync.RWMutex
 	filters  []Filter
+	loads    []int // streams placed per shard, for least-loaded placement
 	shardOf  map[StreamID]int
 	queries  map[QueryID]*graph.Graph
 	matchers map[QueryID]*iso.Matcher
@@ -31,6 +42,7 @@ type ShardedMonitor struct {
 	nextS    StreamID
 	sealed   bool
 	stats    Stats
+	metrics  *EngineMetrics
 }
 
 // NewShardedMonitor creates shards filter instances (0 uses GOMAXPROCS).
@@ -39,6 +51,7 @@ func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	m := &ShardedMonitor{
+		loads:    make([]int, shards),
 		shardOf:  make(map[StreamID]int),
 		queries:  make(map[QueryID]*graph.Graph),
 		matchers: make(map[QueryID]*iso.Matcher),
@@ -53,21 +66,50 @@ func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
 // Shards reports the number of filter instances.
 func (m *ShardedMonitor) Shards() int { return len(m.filters) }
 
+// SetMetrics attaches registry instruments; subsequent StepAll rounds record
+// into them. A nil argument detaches.
+func (m *ShardedMonitor) SetMetrics(em *EngineMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = em
+}
+
 // AddQuery registers a pattern with every shard. As with Monitor, queries
 // after the first stream require the filters to be DynamicFilters.
+//
+// Registration is all-or-nothing: when a shard rejects the query, the shards
+// that already accepted it roll it back (via DynamicFilter.RemoveQuery when
+// the filter supports removal), so no shard is left holding a query the
+// others never saw.
 func (m *ShardedMonitor) AddQuery(q *graph.Graph) (QueryID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.sealed {
 		if _, ok := m.filters[0].(DynamicFilter); !ok {
-			return 0, fmt.Errorf("core: filter %s requires all queries before streams", m.filters[0].Name())
+			return 0, fmt.Errorf("core: filter %s: %w", m.filters[0].Name(), ErrSealed)
 		}
 	}
 	id := m.nextQ
-	m.nextQ++
-	for _, f := range m.filters {
+	for k, f := range m.filters {
 		if err := f.AddQuery(id, q); err != nil {
-			return 0, err
+			for j := k - 1; j >= 0; j-- {
+				df, ok := m.filters[j].(DynamicFilter)
+				if !ok {
+					// Non-dynamic filters cannot be rolled back; this can
+					// only happen pre-seal, where the engine is still
+					// unusable until a consistent AddQuery succeeds, and
+					// identical instances almost always fail on shard 0
+					// (before any shard accepted) anyway.
+					break
+				}
+				if rerr := df.RemoveQuery(id); rerr != nil {
+					return 0, fmt.Errorf("core: shard %d rejected query (%v); rollback on shard %d failed: %w", k, err, j, rerr)
+				}
+			}
+			return 0, fmt.Errorf("core: shard %d: %w", k, err)
 		}
 	}
+	m.nextQ++ // allocate the ID only on success so a failed add leaks nothing
 	m.queries[id] = q.Clone()
 	m.matchers[id] = iso.NewMatcher(m.queries[id])
 	return id, nil
@@ -75,13 +117,15 @@ func (m *ShardedMonitor) AddQuery(q *graph.Graph) (QueryID, error) {
 
 // RemoveQuery deregisters a pattern from every shard (DynamicFilter only).
 func (m *ShardedMonitor) RemoveQuery(id QueryID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.queries[id]; !ok {
-		return fmt.Errorf("core: unknown query %d", id)
+		return fmt.Errorf("core: %w %d", ErrUnknownQuery, id)
 	}
 	for _, f := range m.filters {
 		df, ok := f.(DynamicFilter)
 		if !ok {
-			return fmt.Errorf("core: filter %s does not support query removal", f.Name())
+			return fmt.Errorf("core: filter %s query removal: %w", f.Name(), ErrUnsupported)
 		}
 		if err := df.RemoveQuery(id); err != nil {
 			return err
@@ -92,15 +136,24 @@ func (m *ShardedMonitor) RemoveQuery(id QueryID) error {
 	return nil
 }
 
-// AddStream registers a stream on the least-loaded shard.
+// AddStream registers a stream on the least-loaded shard (fewest streams,
+// ties broken by lowest shard index, so placement is deterministic).
 func (m *ShardedMonitor) AddStream(g0 *graph.Graph) (StreamID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.sealed = true
+	shard := 0
+	for i := 1; i < len(m.loads); i++ {
+		if m.loads[i] < m.loads[shard] {
+			shard = i
+		}
+	}
 	id := m.nextS
-	m.nextS++
-	shard := int(id) % len(m.filters)
 	if err := m.filters[shard].AddStream(id, g0); err != nil {
 		return 0, err
 	}
+	m.nextS++
+	m.loads[shard]++
 	m.shardOf[id] = shard
 	m.streams[id] = g0.Clone()
 	return id, nil
@@ -109,11 +162,13 @@ func (m *ShardedMonitor) AddStream(g0 *graph.Graph) (StreamID, error) {
 // StepAll advances one global timestamp, applying each stream's change set
 // on its shard; shards run concurrently.
 func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	perShard := make([]map[StreamID]graph.ChangeSet, len(m.filters))
 	for id, cs := range changes {
 		shard, ok := m.shardOf[id]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown stream %d", id)
+			return nil, fmt.Errorf("core: %w %d", ErrUnknownStream, id)
 		}
 		if perShard[shard] == nil {
 			perShard[shard] = make(map[StreamID]graph.ChangeSet)
@@ -140,16 +195,16 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 		}(i, f)
 	}
 	wg.Wait()
+	applyDur := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	cands, err := m.collect()
-	m.stats.FilterTime += time.Since(start)
-	if err != nil {
-		return nil, err
-	}
+	start = time.Now()
+	cands := m.collect()
+	collectDur := time.Since(start)
+	m.stats.FilterTime += applyDur + collectDur
 
 	// Maintain the canonical graphs (outside the timed section, matching
 	// Monitor's accounting of filter time only).
@@ -161,11 +216,14 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 	m.stats.Timestamps++
 	m.stats.CandidatePairs += int64(len(cands))
 	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
+	m.metrics.observeStep(applyDur, collectDur, len(cands), m.stats, len(m.streams), len(m.queries))
 	return cands, nil
 }
 
-// collect merges the shards' candidate sets concurrently.
-func (m *ShardedMonitor) collect() ([]Pair, error) {
+// collect merges the shards' candidate sets concurrently. Callers hold at
+// least a read lock; the per-shard goroutines only invoke the filters'
+// Candidates, which the Filter contract requires to be read-safe.
+func (m *ShardedMonitor) collect() []Pair {
 	parts := make([][]Pair, len(m.filters))
 	var wg sync.WaitGroup
 	for i, f := range m.filters {
@@ -180,17 +238,19 @@ func (m *ShardedMonitor) collect() ([]Pair, error) {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return SortPairs(out), nil
+	return SortPairs(out)
 }
 
 // Candidates returns the current merged candidate set.
 func (m *ShardedMonitor) Candidates() []Pair {
-	out, _ := m.collect()
-	return out
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.collect()
 }
 
-// ExactPairs computes ground truth over the canonical graphs.
-func (m *ShardedMonitor) ExactPairs() []Pair {
+// exactPairs computes ground truth over the canonical graphs; callers hold
+// at least a read lock.
+func (m *ShardedMonitor) exactPairs() []Pair {
 	var out []Pair
 	for sid, g := range m.streams {
 		for qid, matcher := range m.matchers {
@@ -202,15 +262,24 @@ func (m *ShardedMonitor) ExactPairs() []Pair {
 	return SortPairs(out)
 }
 
+// ExactPairs computes ground truth over the canonical graphs.
+func (m *ShardedMonitor) ExactPairs() []Pair {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.exactPairs()
+}
+
 // VerifyNoFalseNegatives returns any exact pairs missing from the merged
 // candidate set.
 func (m *ShardedMonitor) VerifyNoFalseNegatives() []Pair {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cands := make(map[Pair]bool)
-	for _, p := range m.Candidates() {
+	for _, p := range m.collect() {
 		cands[p] = true
 	}
 	var missed []Pair
-	for _, p := range m.ExactPairs() {
+	for _, p := range m.exactPairs() {
 		if !cands[p] {
 			missed = append(missed, p)
 		}
@@ -219,4 +288,29 @@ func (m *ShardedMonitor) VerifyNoFalseNegatives() []Pair {
 }
 
 // Stats returns accumulated statistics.
-func (m *ShardedMonitor) Stats() Stats { return m.stats }
+func (m *ShardedMonitor) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// CollectMetrics implements obs.Collector: the per-shard emissions of
+// collector filters are forwarded (the obs.Gather caller sums duplicate
+// names across shards), plus shard-level placement gauges.
+func (m *ShardedMonitor) CollectMetrics(emit func(name string, value float64)) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	emit("nntstream_engine_shards", float64(len(m.filters)))
+	maxLoad := 0
+	for _, l := range m.loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	emit("nntstream_engine_shard_streams_max", float64(maxLoad))
+	for _, f := range m.filters {
+		if c, ok := f.(obs.Collector); ok {
+			c.CollectMetrics(emit)
+		}
+	}
+}

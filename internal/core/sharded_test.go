@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"nntstream/internal/graph"
+	"nntstream/internal/obs"
 )
 
 // countingFilter is a passthrough that records Apply calls, used to verify
@@ -112,6 +116,225 @@ func TestShardedMonitorDefaultsToGOMAXPROCS(t *testing.T) {
 	m := NewShardedMonitor(func() Filter { return &passthrough{} }, 0)
 	if m.Shards() < 1 {
 		t.Fatalf("Shards = %d", m.Shards())
+	}
+}
+
+// edgelessRejecter fails AddStream for graphs without edges, used to leave
+// one shard under-loaded and observe where later streams are placed.
+type edgelessRejecter struct {
+	passthrough
+}
+
+func (f *edgelessRejecter) AddStream(id StreamID, g0 *graph.Graph) error {
+	if g0.EdgeCount() == 0 {
+		return errors.New("no edges")
+	}
+	return f.passthrough.AddStream(id, g0)
+}
+
+func TestShardedMonitorLeastLoadedPlacement(t *testing.T) {
+	m := NewShardedMonitor(func() Filter { return &edgelessRejecter{} }, 2)
+	good := func() *graph.Graph {
+		g := graph.New()
+		_ = g.AddVertex(0, 0)
+		_ = g.AddVertex(1, 1)
+		_ = g.AddEdge(0, 1, 0)
+		return g
+	}
+	bad := graph.New()
+	_ = bad.AddVertex(0, 0)
+
+	id0, err := m.AddStream(good())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed add must neither consume a stream ID nor count as load.
+	if _, err := m.AddStream(bad); err == nil {
+		t.Fatal("edgeless stream should be rejected")
+	}
+	id1, err := m.AddStream(good())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.AddStream(good())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 != 0 || id1 != 1 || id2 != 2 {
+		t.Fatalf("stream IDs = %d,%d,%d; want contiguous 0,1,2", id0, id1, id2)
+	}
+	// Least-loaded placement: 0→shard0, 1→shard1 (shard1 has fewer), 2→shard0
+	// (tie broken by lowest index).
+	wantShards := map[StreamID]int{0: 0, 1: 1, 2: 0}
+	if !reflect.DeepEqual(m.shardOf, wantShards) {
+		t.Fatalf("shardOf = %v; want %v", m.shardOf, wantShards)
+	}
+	if !reflect.DeepEqual(m.loads, []int{2, 1}) {
+		t.Fatalf("loads = %v; want [2 1]", m.loads)
+	}
+}
+
+// flakyDynamic is a dynamic passthrough whose AddQuery can be forced to
+// fail, for exercising multi-shard registration rollback.
+type flakyDynamic struct {
+	failAdds bool
+	queries  map[QueryID]bool
+	streams  []StreamID
+}
+
+func (f *flakyDynamic) Name() string { return "flaky" }
+func (f *flakyDynamic) AddQuery(id QueryID, _ *graph.Graph) error {
+	if f.failAdds {
+		return errors.New("flaky: add failed")
+	}
+	f.queries[id] = true
+	return nil
+}
+func (f *flakyDynamic) RemoveQuery(id QueryID) error {
+	if !f.queries[id] {
+		return fmt.Errorf("flaky: unknown query %d", id)
+	}
+	delete(f.queries, id)
+	return nil
+}
+func (f *flakyDynamic) AddStream(id StreamID, _ *graph.Graph) error {
+	f.streams = append(f.streams, id)
+	return nil
+}
+func (f *flakyDynamic) Apply(StreamID, graph.ChangeSet) error { return nil }
+func (f *flakyDynamic) Candidates() []Pair {
+	var out []Pair
+	for _, s := range f.streams {
+		for q := range f.queries {
+			out = append(out, Pair{Stream: s, Query: q})
+		}
+	}
+	return SortPairs(out)
+}
+
+func TestShardedMonitorAddQueryRollback(t *testing.T) {
+	var instances []*flakyDynamic
+	m := NewShardedMonitor(func() Filter {
+		f := &flakyDynamic{queries: make(map[QueryID]bool)}
+		instances = append(instances, f)
+		return f
+	}, 3)
+	// Shard 1 rejects the query; shard 0 already accepted it and must be
+	// rolled back, and the query ID must not be consumed.
+	instances[1].failAdds = true
+	q := graph.New()
+	_ = q.AddVertex(0, 0)
+	if _, err := m.AddQuery(q); err == nil {
+		t.Fatal("AddQuery should fail when a shard rejects it")
+	}
+	for i, f := range instances {
+		if len(f.queries) != 0 {
+			t.Fatalf("shard %d still holds %d queries after failed AddQuery", i, len(f.queries))
+		}
+	}
+	if len(m.queries) != 0 {
+		t.Fatalf("monitor holds %d queries after failed AddQuery", len(m.queries))
+	}
+
+	// After the fault clears, registration succeeds, reuses the ID, and all
+	// shards agree.
+	instances[1].failAdds = false
+	id, err := m.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("query ID = %d; want 0 (failed add must not leak an ID)", id)
+	}
+	for i, f := range instances {
+		if !f.queries[id] {
+			t.Fatalf("shard %d missing query %d", i, id)
+		}
+	}
+}
+
+func TestShardedMonitorConcurrentStepAndReads(t *testing.T) {
+	m := NewShardedMonitor(func() Filter { return &passthrough{} }, 4)
+	reg := obs.NewRegistry()
+	m.SetMetrics(NewEngineMetrics(reg))
+	g := graph.New()
+	_ = g.AddVertex(0, 0)
+	_ = g.AddVertex(1, 1)
+	_ = g.AddEdge(0, 1, 0)
+	if _, err := m.AddStream(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddStream(g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			cs := map[StreamID]graph.ChangeSet{
+				0: {graph.InsertOp(100, 0, graph.VertexID(101+i), 1, 0)},
+				1: {graph.InsertOp(200, 0, graph.VertexID(201+i), 1, 0)},
+			}
+			if _, err := m.StepAll(cs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_ = m.Candidates()
+				_ = m.Stats()
+				_ = obs.Gather(m)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := m.Stats(); st.Timestamps != rounds {
+		t.Fatalf("timestamps = %d; want %d", st.Timestamps, rounds)
+	}
+	samples := obs.Gather(m)
+	if samples["nntstream_engine_shards"] != 4 {
+		t.Fatalf("shards sample = %v", samples["nntstream_engine_shards"])
+	}
+}
+
+func TestShardedMonitorRecordsMetrics(t *testing.T) {
+	m := NewShardedMonitor(func() Filter { return &passthrough{} }, 2)
+	reg := obs.NewRegistry()
+	em := NewEngineMetrics(reg)
+	m.SetMetrics(em)
+	q := graph.New()
+	_ = q.AddVertex(0, 0)
+	if _, err := m.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	_ = g.AddVertex(0, 0)
+	if _, err := m.AddStream(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{0: nil}); err != nil {
+		t.Fatal(err)
+	}
+	if em.Timestamps.Value() != 1 {
+		t.Fatalf("timestamps counter = %d", em.Timestamps.Value())
+	}
+	if em.ApplySeconds.Count() != 1 || em.CollectSeconds.Count() != 1 {
+		t.Fatalf("histogram counts = %d,%d", em.ApplySeconds.Count(), em.CollectSeconds.Count())
+	}
+	// passthrough reports every pair, so the ratio is 1.
+	if em.CandidateRatio.Value() != 1 {
+		t.Fatalf("candidate ratio = %v", em.CandidateRatio.Value())
+	}
+	if em.CandidatePairs.Value() != 1 {
+		t.Fatalf("candidate pairs = %d", em.CandidatePairs.Value())
 	}
 }
 

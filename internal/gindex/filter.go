@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
@@ -105,6 +106,12 @@ type Filter struct {
 	cfg     Config
 	queries map[core.QueryID]*graph.Graph
 	streams map[core.StreamID]*graph.Graph
+	// mu guards dirty and verdict: Candidates rebuilds lazily (re-mining
+	// once per timestamp instead of once per changed stream), so unlike the
+	// other filters its read path mutates state and must synchronize
+	// internally to satisfy the core.Filter contract that Candidates is
+	// safe for concurrent readers.
+	mu      sync.Mutex
 	dirty   bool
 	verdict map[core.StreamID]map[core.QueryID]bool
 }
@@ -130,7 +137,7 @@ func (f *Filter) AddQuery(id core.QueryID, q *graph.Graph) error {
 		return fmt.Errorf("gindex: duplicate query %d", id)
 	}
 	f.queries[id] = q.Clone()
-	f.dirty = true
+	f.markDirty()
 	return nil
 }
 
@@ -140,7 +147,7 @@ func (f *Filter) RemoveQuery(id core.QueryID) error {
 		return fmt.Errorf("gindex: unknown query %d", id)
 	}
 	delete(f.queries, id)
-	f.dirty = true
+	f.markDirty()
 	return nil
 }
 
@@ -150,7 +157,7 @@ func (f *Filter) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("gindex: duplicate stream %d", id)
 	}
 	f.streams[id] = g0.Clone()
-	f.dirty = true
+	f.markDirty()
 	return nil
 }
 
@@ -163,8 +170,14 @@ func (f *Filter) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	if err := cs.Apply(g); err != nil {
 		return err
 	}
-	f.dirty = true
+	f.markDirty()
 	return nil
+}
+
+func (f *Filter) markDirty() {
+	f.mu.Lock()
+	f.dirty = true
+	f.mu.Unlock()
 }
 
 // rebuild re-mines the feature index over the current stream graphs and
@@ -198,13 +211,17 @@ func (f *Filter) rebuild() {
 	f.dirty = false
 }
 
-// Candidates implements core.Filter.
+// Candidates implements core.Filter. The first call after a change re-mines
+// the index; f.mu serializes that rebuild so concurrent readers are safe.
 func (f *Filter) Candidates() []core.Pair {
+	f.mu.Lock()
 	if f.dirty {
 		f.rebuild()
 	}
+	verdict := f.verdict
+	f.mu.Unlock()
 	var out []core.Pair
-	for sid, m := range f.verdict {
+	for sid, m := range verdict {
 		for qid, ok := range m {
 			if ok {
 				out = append(out, core.Pair{Stream: sid, Query: qid})

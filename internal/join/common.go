@@ -52,6 +52,10 @@ func (s *streamState) apply(cs graph.ChangeSet) error {
 	return s.forest.ApplySet(cs)
 }
 
+// nodeCount reports the current NNT node count of the stream's forest, the
+// structure-size gauge every NPV filter exports (see CollectMetrics).
+func (s *streamState) nodeCount() int { return s.forest.TotalNodes() }
+
 // qKey identifies one query vertex across all registered queries.
 type qKey struct {
 	Q core.QueryID
@@ -65,15 +69,17 @@ func projectQuery(q *graph.Graph, depth int) map[graph.VertexID]npv.Vector {
 	return npv.ProjectGraph(q, depth)
 }
 
-// dominatedByAny reports whether any vector in the space dominates u.
-func dominatedByAny(space *npv.Space, u npv.Vector) bool {
-	found := false
+// dominatedByAny reports whether any vector in the space dominates u, along
+// with the number of vectors scanned before deciding (the nested-loop work
+// measure NL exports).
+func dominatedByAny(space *npv.Space, u npv.Vector) (found bool, scanned int) {
 	space.Vectors(func(_ graph.VertexID, vec npv.Vector) bool {
+		scanned++
 		if vec.Dominates(u) {
 			found = true
 			return false
 		}
 		return true
 	})
-	return found
+	return found, scanned
 }

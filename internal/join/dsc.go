@@ -7,6 +7,7 @@ import (
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
+	"nntstream/internal/obs"
 )
 
 // DSC is the dominated-set-cover join (Figure 8). Query vectors are
@@ -37,6 +38,10 @@ type DSC struct {
 	// qsize counts the query vertices that must be covered per query.
 	qsize   map[core.QueryID]int
 	streams map[core.StreamID]*dscStream
+	// domUpdates counts dominance-counter adjustments (incDom+decDom) over
+	// the run — the paper's "entries crossed" work measure. Written only on
+	// the (serialized) maintenance path, read by CollectMetrics.
+	domUpdates int64
 }
 
 type dscColumn struct {
@@ -320,6 +325,7 @@ func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID) {
 }
 
 func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey) {
+	f.domUpdates++
 	dom := ds.dom[v]
 	if dom == nil {
 		dom = make(map[qKey]int)
@@ -335,6 +341,7 @@ func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey) {
 }
 
 func (f *DSC) decDom(ds *dscStream, v graph.VertexID, k qKey) {
+	f.domUpdates++
 	dom := ds.dom[v]
 	if dom[k] == f.nnz[k] {
 		ds.cover[k]--
@@ -370,4 +377,30 @@ func (f *DSC) Candidates() []core.Pair {
 		}
 	}
 	return core.SortPairs(out)
+}
+
+var _ obs.Collector = (*DSC)(nil)
+
+// CollectMetrics implements obs.Collector with the structure sizes that
+// drive DSC's per-step cost: sorted-column entries, position/dominance
+// counter footprints, and the NNT node count of the observed forests.
+func (f *DSC) CollectMetrics(emit func(name string, value float64)) {
+	entries := 0
+	for _, col := range f.cols {
+		entries += len(col.entries)
+	}
+	emit("nntstream_dsc_column_entries", float64(entries))
+	emit("nntstream_dsc_columns", float64(len(f.cols)))
+	emit("nntstream_dsc_query_vertices", float64(len(f.nnz)))
+	emit("nntstream_dsc_dom_updates_total", float64(f.domUpdates))
+	nodes, posVerts, domVerts := 0, 0, 0
+	for _, ds := range f.streams {
+		nodes += ds.st.nodeCount()
+		posVerts += len(ds.pos)
+		domVerts += len(ds.dom)
+	}
+	emit("nntstream_filter_nnt_nodes", float64(nodes))
+	emit("nntstream_filter_streams", float64(len(f.streams)))
+	emit("nntstream_dsc_position_vertices", float64(posVerts))
+	emit("nntstream_dsc_dominance_vertices", float64(domVerts))
 }

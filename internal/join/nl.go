@@ -6,6 +6,7 @@ import (
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
+	"nntstream/internal/obs"
 )
 
 // NL is the nested-loop join baseline: whenever a stream changes, every
@@ -17,6 +18,10 @@ type NL struct {
 	queries map[core.QueryID][]npv.Vector
 	streams map[core.StreamID]*streamState
 	verdict map[core.StreamID]map[core.QueryID]bool
+	// vectorScans counts stream vectors scanned during dominance checks over
+	// the run. Written only on the (serialized) maintenance path, read by
+	// CollectMetrics.
+	vectorScans int64
 }
 
 var _ core.DynamicFilter = (*NL)(nil)
@@ -103,7 +108,9 @@ func (f *NL) evaluate(id core.StreamID) {
 
 func (f *NL) evaluateOne(st *streamState, vecs []npv.Vector) bool {
 	for _, u := range vecs {
-		if !dominatedByAny(st.space, u) {
+		found, scanned := dominatedByAny(st.space, u)
+		f.vectorScans += int64(scanned)
+		if !found {
 			return false
 		}
 	}
@@ -121,4 +128,26 @@ func (f *NL) Candidates() []core.Pair {
 		}
 	}
 	return core.SortPairs(out)
+}
+
+var _ obs.Collector = (*NL)(nil)
+
+// CollectMetrics implements obs.Collector with the nested-loop work and
+// structure sizes: query/stream vector counts, scan totals, and the NNT node
+// count of the observed forests.
+func (f *NL) CollectMetrics(emit func(name string, value float64)) {
+	qvecs := 0
+	for _, vecs := range f.queries {
+		qvecs += len(vecs)
+	}
+	emit("nntstream_nl_query_vectors", float64(qvecs))
+	emit("nntstream_nl_vector_scans_total", float64(f.vectorScans))
+	svecs, nodes := 0, 0
+	for _, st := range f.streams {
+		svecs += st.space.Len()
+		nodes += st.nodeCount()
+	}
+	emit("nntstream_nl_stream_vectors", float64(svecs))
+	emit("nntstream_filter_nnt_nodes", float64(nodes))
+	emit("nntstream_filter_streams", float64(len(f.streams)))
 }

@@ -7,6 +7,7 @@ import (
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
+	"nntstream/internal/obs"
 	"nntstream/internal/skyline"
 )
 
@@ -27,6 +28,11 @@ type Skyline struct {
 	depth   int
 	queries map[core.QueryID][]npv.Vector // maximal vectors, probe order
 	streams map[core.StreamID]*skyStream
+	// probeScans counts stream vectors scanned inside dominated's probe loop
+	// over the run — the work the per-dimension max refutation saves.
+	// Written only on the (serialized) maintenance path, read by
+	// CollectMetrics.
+	probeScans int64
 }
 
 type skyStream struct {
@@ -206,11 +212,36 @@ func (f *Skyline) dominated(ss *skyStream, u npv.Vector) bool {
 	// Any dominator of u is nonzero in every support dimension of u, so it
 	// is a member of the probe (minimum-cardinality) dimension.
 	for v := range probe.members {
+		f.probeScans++
 		if ss.prev[v].Dominates(u) {
 			return true
 		}
 	}
 	return false
+}
+
+var _ obs.Collector = (*Skyline)(nil)
+
+// CollectMetrics implements obs.Collector with the structure sizes that
+// drive the skyline probe: maximal query vectors, per-dimension statistics,
+// registered stream vectors, and the NNT node count of the observed forests.
+func (f *Skyline) CollectMetrics(emit func(name string, value float64)) {
+	maximal := 0
+	for _, vecs := range f.queries {
+		maximal += len(vecs)
+	}
+	emit("nntstream_skyline_maximal_query_vectors", float64(maximal))
+	emit("nntstream_skyline_probe_scans_total", float64(f.probeScans))
+	dims, vecs, nodes := 0, 0, 0
+	for _, ss := range f.streams {
+		dims += len(ss.dims)
+		vecs += len(ss.prev)
+		nodes += ss.st.nodeCount()
+	}
+	emit("nntstream_skyline_dimensions", float64(dims))
+	emit("nntstream_skyline_stream_vectors", float64(vecs))
+	emit("nntstream_filter_nnt_nodes", float64(nodes))
+	emit("nntstream_filter_streams", float64(len(f.streams)))
 }
 
 // Candidates implements core.Filter.

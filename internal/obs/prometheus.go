@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promWriter accumulates Prometheus text-format lines.
+type promWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (p *promWriter) line(parts ...string) {
+	if p.err != nil {
+		return
+	}
+	for _, s := range parts {
+		if _, p.err = p.w.WriteString(s); p.err != nil {
+			return
+		}
+	}
+	p.err = p.w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func (p *promWriter) header(name, help, kind string) {
+	if help != "" {
+		p.line("# HELP ", name, " ", help)
+	}
+	p.line("# TYPE ", name, " ", kind)
+}
+
+func (c *Counter) write(p *promWriter) {
+	p.header(c.name, c.help, "counter")
+	p.line(c.name, " ", formatInt(c.Value()))
+}
+
+func (g *Gauge) write(p *promWriter) {
+	p.header(g.name, g.help, "gauge")
+	p.line(g.name, " ", formatFloat(g.Value()))
+}
+
+func (h *Histogram) write(p *promWriter) {
+	p.header(h.name, h.help, "histogram")
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		p.line(h.name, `_bucket{le="`, formatFloat(bound), `"} `, formatInt(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	p.line(h.name, `_bucket{le="+Inf"} `, formatInt(cum))
+	p.line(h.name, "_sum ", formatFloat(h.Sum()))
+	p.line(h.name, "_count ", formatInt(h.Count()))
+}
+
+// WritePrometheus renders every registered instrument in registration order
+// as Prometheus text format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.ordered))
+	copy(metrics, r.ordered)
+	r.mu.Unlock()
+	p := &promWriter{w: bufio.NewWriter(w)}
+	for _, m := range metrics {
+		m.write(p)
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// WriteSamples renders point-in-time samples (for example those gathered
+// from a Collector) as untyped metrics in sorted name order.
+func WriteSamples(w io.Writer, samples map[string]float64) error {
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := &promWriter{w: bufio.NewWriter(w)}
+	for _, name := range names {
+		p.line("# TYPE ", name, " untyped")
+		p.line(name, " ", formatFloat(samples[name]))
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

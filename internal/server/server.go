@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
+	"nntstream/internal/obs"
 )
 
 // Engine is the monitoring surface the server drives. Both core.Monitor and
@@ -28,15 +30,58 @@ type QueryRemover interface {
 	RemoveQuery(id core.QueryID) error
 }
 
-// Server serializes access to an Engine behind an HTTP API. Engines are not
-// safe for concurrent use; the server's mutex makes each request atomic.
-type Server struct {
-	mu     sync.Mutex
-	engine Engine
+// metricsEngine is the optional instrumentation surface: engines that accept
+// an EngineMetrics record per-timestamp latencies into the server's registry.
+type metricsEngine interface {
+	SetMetrics(em *core.EngineMetrics)
 }
 
-// New wraps an engine.
-func New(engine Engine) *Server { return &Server{engine: engine} }
+// Server guards an Engine behind an HTTP API with a readers-writer lock:
+// mutating requests (registrations, steps) are exclusive, while read-only
+// requests (/v1/candidates, /v1/stats, /v1/metrics) run concurrently. This
+// relies on the core.Filter contract that Candidates is a safe read path.
+type Server struct {
+	mu       sync.RWMutex
+	engine   Engine
+	registry *obs.Registry
+}
+
+// New wraps an engine. A metrics registry is created and, when the engine
+// supports it, wired in so StepAll latencies land in /v1/metrics.
+func New(engine Engine) *Server {
+	s := &Server{engine: engine, registry: obs.NewRegistry()}
+	if me, ok := engine.(metricsEngine); ok {
+		me.SetMetrics(core.NewEngineMetrics(s.registry))
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry so callers (cmd/serve) can
+// register their own instruments alongside the engine's.
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Stats returns the engine's run statistics under the read lock.
+func (s *Server) Stats() core.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Stats()
+}
+
+// statusFor maps engine errors onto HTTP statuses via the core sentinel
+// errors: unknown IDs are 404, seal violations 409, unsupported operations
+// 501, anything else 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrUnknownStream), errors.Is(err, core.ErrUnknownQuery):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrSealed):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrUnsupported):
+		return http.StatusNotImplemented
+	default:
+		return http.StatusInternalServerError
+	}
+}
 
 // Handler returns the API handler.
 func (s *Server) Handler() http.Handler {
@@ -47,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/step", s.handleStep)
 	mux.HandleFunc("/v1/candidates", s.handleCandidates)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -90,7 +136,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	id, err := s.engine.AddQuery(g)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
@@ -116,7 +162,7 @@ func (s *Server) handleQueryByID(w http.ResponseWriter, r *http.Request) {
 	err = remover.RemoveQuery(core.QueryID(id))
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
@@ -141,7 +187,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	id, err := s.engine.AddStream(g)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
@@ -179,7 +225,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	pairs, err := s.engine.StepAll(changes)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, pairsResponse{Pairs: wirePairs(pairs)})
@@ -190,9 +236,9 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	pairs := s.engine.Candidates()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, pairsResponse{Pairs: wirePairs(pairs)})
 }
 
@@ -207,14 +253,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	st := s.engine.Stats()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Timestamps:     st.Timestamps,
 		AvgFilterMs:    float64(st.AvgTimePerTimestamp()) / float64(time.Millisecond),
 		CandidateRatio: st.CandidateRatio(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the registry's typed
+// instruments (engine latency histograms, counters, gauges) followed by the
+// engine's structure-size samples gathered from its obs.Collector surface.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.registry.WritePrometheus(w)
+	if col, ok := s.engine.(obs.Collector); ok {
+		s.mu.RLock()
+		samples := obs.Gather(col)
+		s.mu.RUnlock()
+		_ = obs.WriteSamples(w, samples)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

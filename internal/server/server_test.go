@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"nntstream/internal/core"
+	"nntstream/internal/graph"
 	"nntstream/internal/join"
 )
 
@@ -133,7 +137,7 @@ func TestServerValidation(t *testing.T) {
 		{http.MethodPost, "/v1/candidates", nil, http.StatusMethodNotAllowed},
 		{http.MethodPost, "/v1/step", "not json", http.StatusBadRequest},
 		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{"x": nil}}, http.StatusBadRequest},
-		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{"42": nil}}, http.StatusBadRequest}, // unknown stream
+		{http.MethodPost, "/v1/step", stepRequest{Changes: map[string][]WireOp{"42": nil}}, http.StatusNotFound}, // unknown stream
 		{http.MethodDelete, "/v1/queries/zzz", nil, http.StatusBadRequest},
 		{http.MethodDelete, "/v1/queries/99", nil, http.StatusNotFound},
 		{http.MethodPost, "/v1/queries", graphRequest{Graph: WireGraph{
@@ -148,6 +152,173 @@ func TestServerValidation(t *testing.T) {
 		if resp.StatusCode != c.want {
 			t.Fatalf("case %d (%s %s): status %d; want %d", i, c.method, c.path, resp.StatusCode, c.want)
 		}
+	}
+}
+
+// staticFilter is a minimal non-dynamic core.Filter: AddQuery after the
+// first stream trips the Monitor's seal, which must surface as 409.
+type staticFilter struct{}
+
+func (staticFilter) Name() string                                { return "static" }
+func (staticFilter) AddQuery(core.QueryID, *graph.Graph) error   { return nil }
+func (staticFilter) AddStream(core.StreamID, *graph.Graph) error { return nil }
+func (staticFilter) Apply(core.StreamID, graph.ChangeSet) error  { return nil }
+func (staticFilter) Candidates() []core.Pair                     { return nil }
+
+// TestServerStatusMapping checks that engine sentinel errors surface as the
+// right HTTP statuses: 404 for unknown IDs, 409 for seal violations, 501 for
+// unsupported operations.
+func TestServerStatusMapping(t *testing.T) {
+	t.Run("sealed_409_and_unsupported_501", func(t *testing.T) {
+		srv := httptest.NewServer(New(core.NewMonitor(staticFilter{})).Handler())
+		defer srv.Close()
+		resp, _ := do(t, http.MethodPost, srv.URL+"/v1/streams", graphRequest{Graph: edgeGraph(0, 1)})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add stream = %d", resp.StatusCode)
+		}
+		// Query after stream on a non-dynamic filter: workload sealed.
+		resp, body := do(t, http.MethodPost, srv.URL+"/v1/queries", graphRequest{Graph: edgeGraph(0, 1)})
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("sealed add query = %d body %v; want 409", resp.StatusCode, body)
+		}
+		// Removal on a non-dynamic filter: unsupported.
+		resp, _ = do(t, http.MethodDelete, srv.URL+"/v1/queries/0", nil)
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("unsupported removal = %d; want 501", resp.StatusCode)
+		}
+	})
+	t.Run("unknown_ids_404", func(t *testing.T) {
+		srv := testServer(t)
+		resp, _ := do(t, http.MethodPost, srv.URL+"/v1/step",
+			stepRequest{Changes: map[string][]WireOp{"7": nil}})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown stream step = %d; want 404", resp.StatusCode)
+		}
+		resp, _ = do(t, http.MethodDelete, srv.URL+"/v1/queries/99", nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown query delete = %d; want 404", resp.StatusCode)
+		}
+	})
+}
+
+// TestServerMetrics drives one timestamp and checks /v1/metrics serves the
+// engine latency histogram, the candidate-ratio gauge, and the filter's
+// structure-size samples in Prometheus text format.
+func TestServerMetrics(t *testing.T) {
+	srv := testServer(t)
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/queries", graphRequest{Graph: edgeGraph(0, 1)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/streams", graphRequest{Graph: edgeGraph(0, 2)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add stream = %d", resp.StatusCode)
+	}
+	step := stepRequest{Changes: map[string][]WireOp{
+		"0": {{Op: "ins", U: 0, V: 7, ULabel: 0, VLabel: 1, ELabel: 0}},
+	}}
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/step", step); resp.StatusCode != http.StatusOK {
+		t.Fatalf("step = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE nntstream_engine_apply_seconds histogram",
+		"nntstream_engine_apply_seconds_bucket{le=\"+Inf\"} 1",
+		"nntstream_engine_apply_seconds_count 1",
+		"nntstream_engine_timestamps_total 1",
+		"nntstream_engine_candidate_ratio 1",
+		"nntstream_dsc_column_entries",
+		"nntstream_filter_nnt_nodes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+// TestServerConcurrentStepAndReads overlaps POST /v1/step with GET
+// /v1/candidates, /v1/stats, and /v1/metrics. Run under -race it validates
+// the server's readers-writer locking and the engines' read-path contract.
+func TestServerConcurrentStepAndReads(t *testing.T) {
+	sharded := core.NewShardedMonitor(func() core.Filter { return join.NewDSC(3) }, 2)
+	srv := httptest.NewServer(New(sharded).Handler())
+	defer srv.Close()
+
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/queries", graphRequest{Graph: edgeGraph(0, 1)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query = %d", resp.StatusCode)
+	}
+	for i := 0; i < 2; i++ {
+		if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/streams", graphRequest{Graph: edgeGraph(0, 2)}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add stream = %d", resp.StatusCode)
+		}
+	}
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, path := range []string{"/v1/candidates", "/v1/stats", "/v1/metrics", "/v1/candidates"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s = %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	for i := 0; i < rounds; i++ {
+		v := 10 + i
+		step := stepRequest{Changes: map[string][]WireOp{
+			"0": {{Op: "ins", U: 0, V: int32(v), ULabel: 0, VLabel: 1, ELabel: 0}},
+			"1": {{Op: "ins", U: 0, V: int32(v), ULabel: 0, VLabel: 1, ELabel: 0}},
+		}}
+		resp, _ := do(t, http.MethodPost, srv.URL+"/v1/step", step)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d = %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, body := do(t, http.MethodGet, srv.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var ts int
+	_ = json.Unmarshal(body["timestamps"], &ts)
+	if ts != rounds {
+		t.Fatalf("timestamps = %d; want %d", ts, rounds)
 	}
 }
 
