@@ -1,7 +1,7 @@
 # Verification gate: everything CI (and a pre-commit run) should enforce.
 GO ?= go
 
-.PHONY: verify fmt vet build test race
+.PHONY: verify fmt vet build test race crashtest
 
 verify: fmt vet build test race
 
@@ -21,6 +21,12 @@ test:
 	$(GO) test ./...
 
 # The engines and the HTTP server claim concurrent-read safety; hold them to
-# it under the race detector.
+# it under the race detector. The WAL claims safe concurrent appends/syncs.
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/...
+
+# Crash-recovery property tests: WAL torn at every byte, fault-injected
+# writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering
+# assumptions in the recovery paths.
+crashtest:
+	$(GO) test -count=3 -run 'Crash|Recover|Torn|KillPoint|Fault' ./internal/wal/... ./internal/core/...

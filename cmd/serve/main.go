@@ -1,9 +1,14 @@
 // Command serve runs the continuous subgraph-search monitor as an HTTP
 // service (see internal/server for the API). Streams are sharded across
-// filter instances for multi-core throughput.
+// filter instances for multi-core throughput, and -data-dir makes the engine
+// durable: every mutation is write-ahead logged and periodically folded into
+// an atomic checkpoint, so a killed process recovers to exactly the
+// acknowledged operations on restart.
 //
 //	serve [-addr :8080] [-filter dsc|skyline|nl|branch|graphgrep|gindex1|gindex2|exact]
-//	      [-depth 3] [-shards 0] [-pprof addr] [-metrics-interval d]
+//	      [-depth 3] [-shards 0] [-data-dir dir] [-fsync always|interval|never]
+//	      [-fsync-interval 100ms] [-checkpoint-interval 5m] [-max-body-bytes n]
+//	      [-pprof addr] [-metrics-interval d]
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 	"nntstream/internal/gindex"
 	"nntstream/internal/graphgrep"
 	"nntstream/internal/join"
+	"nntstream/internal/obs"
 	"nntstream/internal/server"
+	"nntstream/internal/wal"
 )
 
 func main() {
@@ -32,8 +39,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	filterName := flag.String("filter", "dsc", "filter: dsc, skyline, nl, branch, graphgrep, gindex1, gindex2, exact")
 	depth := flag.Int("depth", join.DefaultDepth, "NNT depth bound for the NPV filters")
-	shards := flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS; 1 disables sharding; snapshots require 1)")
-	snapshot := flag.String("snapshot", "", "snapshot file: restored on boot if present, written on shutdown")
+	shards := flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS; 1 disables sharding)")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush cadence for -fsync interval")
+	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint cadence; 0 disables (checkpoint on shutdown only)")
+	maxBodyBytes := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body size cap (413 above it)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log engine stats at this interval (e.g. 30s); 0 disables")
 	flag.Parse()
@@ -42,37 +53,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	registry := obs.NewRegistry()
+
 	var engine server.Engine
-	var mon *core.Monitor
-	if *shards == 1 || *snapshot != "" {
-		if *snapshot != "" && *shards > 1 {
-			log.Fatal("-snapshot requires -shards 1")
+	var durable *core.DurableEngine
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
 		}
-		mon = core.NewMonitor(factory())
-		if *snapshot != "" {
-			if f, err := os.Open(*snapshot); err == nil {
-				restored, rerr := core.RestoreMonitor(f, factory())
-				f.Close()
-				if rerr != nil {
-					log.Fatalf("restoring %s: %v", *snapshot, rerr)
-				}
-				mon = restored
-				log.Printf("restored %d queries, %d streams from %s",
-					mon.QueryCount(), mon.StreamCount(), *snapshot)
-			} else if !os.IsNotExist(err) {
-				log.Fatal(err)
-			}
+		durable, err = core.OpenDurableEngine(*dataDir, core.FilterFactory(factory), core.DurableOptions{
+			Shards:             *shards,
+			Fsync:              policy,
+			FsyncInterval:      *fsyncInterval,
+			CheckpointInterval: *checkpointInterval,
+			Metrics:            wal.NewMetrics(registry),
+		})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
 		}
-		engine = mon
+		log.Printf("durable engine in %s (fsync=%s, checkpoint every %v): recovered %d queries, %d streams",
+			*dataDir, policy, *checkpointInterval, durable.QueryCount(), durable.StreamCount())
+		engine = durable
+	} else if *shards == 1 {
+		engine = core.NewMonitor(factory())
 	} else {
 		engine = core.NewShardedMonitor(core.FilterFactory(factory), *shards)
 	}
 
-	srv := server.New(engine)
+	srv := server.NewWithRegistry(engine, registry)
+	srv.SetMaxBodyBytes(*maxBodyBytes)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
 		log.Printf("listening on %s (filter=%s)", *addr, *filterName)
@@ -86,7 +103,14 @@ func main() {
 			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
 			// DefaultServeMux carries the net/http/pprof handlers; keep it off
 			// the API listener so profiling stays on an operator-only port.
-			pprofServer := &http.Server{Addr: *pprofAddr, ReadHeaderTimeout: 5 * time.Second}
+			// The generous write timeout leaves room for long CPU profiles.
+			pprofServer := &http.Server{
+				Addr:              *pprofAddr,
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       30 * time.Second,
+				WriteTimeout:      2 * time.Minute,
+				IdleTimeout:       2 * time.Minute,
+			}
 			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof: %v", err)
 			}
@@ -115,19 +139,13 @@ func main() {
 	if err := httpServer.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	if *snapshot != "" && mon != nil {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			log.Fatalf("writing snapshot: %v", err)
+	if durable != nil {
+		// Final checkpoint + WAL release; after this a restart boots from
+		// the checkpoint alone.
+		if err := durable.Close(); err != nil {
+			log.Fatalf("closing durable engine: %v", err)
 		}
-		if err := mon.WriteSnapshot(f); err != nil {
-			f.Close()
-			log.Fatalf("writing snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("writing snapshot: %v", err)
-		}
-		log.Printf("snapshot written to %s", *snapshot)
+		log.Printf("checkpoint written to %s", *dataDir)
 	}
 }
 

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+// The StepAll atomicity regression: a batch with one valid and one invalid
+// change set must be rejected as a whole, with the filter untouched (zero
+// Apply calls) and every canonical graph unchanged — not just the stream
+// whose change set was invalid.
+
+func atomicityWorkload(t *testing.T, addStream func(*graph.Graph) (StreamID, error)) (StreamID, StreamID) {
+	t.Helper()
+	g0 := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	g1 := buildGraph(t, map[graph.VertexID]graph.Label{0: 2, 1: 2}, [][3]int{{0, 1, 1}})
+	s0, err := addStream(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := addStream(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s0, s1
+}
+
+func TestMonitorStepAllAtomic(t *testing.T) {
+	f := &countingFilter{}
+	m := NewMonitor(f)
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if _, err := m.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := atomicityWorkload(t, m.AddStream)
+
+	changes := map[StreamID]graph.ChangeSet{
+		s0: {graph.InsertOp(0, 0, 2, 1, 0)}, // valid
+		// Invalid: vertex 0 of s1 already has label 2, not 9.
+		s1: {graph.InsertOp(0, 9, 5, 2, 0)},
+	}
+	if _, err := m.StepAll(changes); err == nil {
+		t.Fatal("StepAll with an invalid change set must fail")
+	}
+	if n := atomic.LoadInt64(&f.applies); n != 0 {
+		t.Fatalf("filter saw %d Apply calls despite batch rejection", n)
+	}
+	if got := m.StreamGraph(s0).EdgeCount(); got != 1 {
+		t.Fatalf("stream %d canonical graph mutated: %d edges", s0, got)
+	}
+	if got := m.StreamGraph(s1).EdgeCount(); got != 1 {
+		t.Fatalf("stream %d canonical graph mutated: %d edges", s1, got)
+	}
+	if st := m.Stats(); st.Timestamps != 0 {
+		t.Fatalf("rejected batch counted as a timestamp: %+v", st)
+	}
+
+	// The same batch with the invalid half removed still works afterwards.
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{s0: changes[s0]}); err != nil {
+		t.Fatalf("valid step after rejected batch: %v", err)
+	}
+	if got := m.StreamGraph(s0).EdgeCount(); got != 2 {
+		t.Fatalf("valid step not applied: %d edges", got)
+	}
+}
+
+func TestShardedMonitorStepAllAtomic(t *testing.T) {
+	var filters []*countingFilter
+	m := NewShardedMonitor(func() Filter {
+		f := &countingFilter{}
+		filters = append(filters, f)
+		return f
+	}, 2)
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	if _, err := m.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := atomicityWorkload(t, m.AddStream)
+
+	// With two streams on two shards, a naive fan-out would let the valid
+	// change set reach its shard while the other shard fails.
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{
+		s0: {graph.InsertOp(0, 0, 2, 1, 0)},
+		s1: {graph.InsertOp(0, 9, 5, 2, 0)}, // label conflict on vertex 0
+	}); err == nil {
+		t.Fatal("StepAll with an invalid change set must fail")
+	}
+	for i, f := range filters {
+		if n := atomic.LoadInt64(&f.applies); n != 0 {
+			t.Fatalf("shard %d saw %d Apply calls despite batch rejection", i, n)
+		}
+	}
+	for _, s := range []StreamID{s0, s1} {
+		m.mu.RLock()
+		edges := m.streams[s].EdgeCount()
+		m.mu.RUnlock()
+		if edges != 1 {
+			t.Fatalf("stream %d canonical graph mutated: %d edges", s, edges)
+		}
+	}
+
+	// Unknown streams are still rejected (now during staging).
+	if _, err := m.StepAll(map[StreamID]graph.ChangeSet{99: nil}); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}

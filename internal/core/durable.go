@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/wal"
+)
+
+// DurableEngine makes a Monitor or ShardedMonitor crash-safe: every accepted
+// mutation is appended to a write-ahead log before it is applied, and the
+// engine's logical state is periodically folded into an atomic checkpoint
+// that lets the log be truncated. Booting from a data directory restores the
+// checkpoint (if any) and replays the log's surviving suffix, so a process
+// killed at any instant recovers to exactly the acknowledged operations.
+//
+// Ordering guarantees come from two layers: the WAL assigns strictly
+// increasing LSNs, and the checkpoint records the LSN it has folded in, so
+// replay skips records the checkpoint already covers — including the crash
+// window between checkpoint publication and log truncation, where the old
+// records still exist on disk but must not be applied twice.
+//
+// Append-before-apply has one wrinkle: an operation the inner engine rejects
+// (a sealed engine, a duplicate, an invalid change set) has already been
+// logged. The engine withdraws it by rolling the log back to the boundary
+// captured before the append; the single-writer discipline (all mutations
+// serialize behind mu) makes that rollback safe.
+type DurableEngine struct {
+	mu     sync.Mutex
+	inner  innerEngine
+	log    *wal.Log
+	dir    string
+	cpPath string
+
+	metrics *wal.Metrics
+	closed  bool
+
+	stopCheckpoint chan struct{}
+	checkpointWG   sync.WaitGroup
+}
+
+// innerEngine is the engine surface DurableEngine wraps. Monitor and
+// ShardedMonitor implement it.
+type innerEngine interface {
+	AddQuery(q *graph.Graph) (QueryID, error)
+	RemoveQuery(id QueryID) error
+	AddStream(g0 *graph.Graph) (StreamID, error)
+	StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error)
+	Candidates() []Pair
+	Stats() Stats
+	QueryCount() int
+	StreamCount() int
+	SetMetrics(em *EngineMetrics)
+
+	replayAddQuery(id QueryID, q *graph.Graph) error
+	replayAddStream(id StreamID, g0 *graph.Graph) error
+	nextIDs() (QueryID, StreamID)
+	setNextIDs(q QueryID, s StreamID)
+	checkpointState() engineState
+}
+
+// DurableOptions configures OpenDurableEngine.
+type DurableOptions struct {
+	// Shards selects the inner engine: <=1 wraps a single Monitor, >1 a
+	// ShardedMonitor with that many shards.
+	Shards int
+	// Fsync is the WAL fsync policy (default wal.SyncAlways).
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the cadence for wal.SyncInterval (default
+	// wal.DefaultSyncInterval).
+	FsyncInterval time.Duration
+	// CheckpointInterval is the background checkpoint cadence; zero disables
+	// background checkpoints (Close still writes a final one).
+	CheckpointInterval time.Duration
+	// Metrics receives WAL and checkpoint observations; nil disables.
+	Metrics *wal.Metrics
+	// WrapFile wraps the WAL file — the fault-injection hook for tests.
+	WrapFile func(wal.LogFile) wal.LogFile
+}
+
+const (
+	walFileName        = "wal.log"
+	checkpointFileName = "checkpoint.json"
+)
+
+// OpenDurableEngine boots a durable engine from dir, creating it on first
+// use: restore the checkpoint if one exists, then replay WAL records beyond
+// the checkpoint's LSN. The filter factory must produce deterministic
+// filters (the same sequence of operations rebuilds the same state) — the
+// same property snapshots already rely on.
+func OpenDurableEngine(dir string, factory FilterFactory, opts DurableOptions) (*DurableEngine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating data dir %s: %w", dir, err)
+	}
+	d := &DurableEngine{
+		dir:     dir,
+		cpPath:  filepath.Join(dir, checkpointFileName),
+		metrics: opts.Metrics,
+	}
+	if opts.Shards > 1 {
+		d.inner = NewShardedMonitor(factory, opts.Shards)
+	} else {
+		d.inner = NewMonitor(factory())
+	}
+
+	// A crash during checkpointing can leave a stale temp file; the rename
+	// never happened, so it holds no authoritative state.
+	os.Remove(d.cpPath + ".tmp")
+
+	opts.Metrics.ObserveRecoveryStart()
+	walSeq, err := d.restoreCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, walFileName), wal.Options{
+		Sync:         opts.Fsync,
+		SyncInterval: opts.FsyncInterval,
+		Metrics:      opts.Metrics,
+		WrapFile:     opts.WrapFile,
+		OnRecord: func(r wal.Record) error {
+			if r.LSN <= walSeq {
+				// Already folded into the checkpoint: the process died
+				// between publishing the checkpoint and truncating the log.
+				return nil
+			}
+			return d.replayRecord(r)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	if walSeq > log.LastLSN() {
+		// The checkpoint is ahead of the (reset or torn) log; future LSNs
+		// must stay above everything a checkpoint has ever recorded.
+		// Re-checkpointing immediately restores the invariant by folding the
+		// current LSN base into a fresh checkpoint.
+		d.mu.Lock()
+		err := d.checkpointLocked()
+		d.mu.Unlock()
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("core: rebasing checkpoint after log loss: %w", err)
+		}
+	}
+	if opts.CheckpointInterval > 0 {
+		d.stopCheckpoint = make(chan struct{})
+		d.checkpointWG.Add(1)
+		go d.checkpointLoop(opts.CheckpointInterval)
+	}
+	return d, nil
+}
+
+// restoreCheckpoint loads the checkpoint file if present and returns its
+// WALSeq (zero when no checkpoint exists).
+func (d *DurableEngine) restoreCheckpoint() (uint64, error) {
+	f, err := os.Open(d.cpPath)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: opening checkpoint %s: %w", d.cpPath, err)
+	}
+	defer f.Close()
+	file, err := readSnapshotFrom(f)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", d.cpPath, err)
+	}
+	if err := restoreInto(d.inner, file); err != nil {
+		return 0, fmt.Errorf("core: restoring checkpoint %s: %w", d.cpPath, err)
+	}
+	return file.WALSeq, nil
+}
+
+// replayRecord applies one WAL record during recovery.
+func (d *DurableEngine) replayRecord(r wal.Record) error {
+	switch r.Kind {
+	case wal.KindAddQuery:
+		return d.inner.replayAddQuery(QueryID(r.ID), r.Graph)
+	case wal.KindRemoveQuery:
+		return d.inner.RemoveQuery(QueryID(r.ID))
+	case wal.KindAddStream:
+		return d.inner.replayAddStream(StreamID(r.ID), r.Graph)
+	case wal.KindStepAll:
+		changes := make(map[StreamID]graph.ChangeSet, len(r.Changes))
+		for id, cs := range r.Changes {
+			changes[StreamID(id)] = cs
+		}
+		_, err := d.inner.StepAll(changes)
+		return err
+	default:
+		return fmt.Errorf("core: replaying unknown WAL record kind %d", r.Kind)
+	}
+}
+
+// errClosed reports use after Close/Crash.
+var errDurableClosed = fmt.Errorf("core: durable engine is closed")
+
+// logged wraps a mutation in the append-before-apply protocol: the record is
+// appended (and, under SyncAlways, made durable) first; if the inner engine
+// then rejects the operation, the record is withdrawn by rolling the log
+// back to the pre-append boundary.
+func (d *DurableEngine) logged(r wal.Record, apply func() error) error {
+	if d.closed {
+		return errDurableClosed
+	}
+	off, lsn := d.log.Offset(), d.log.LastLSN()
+	if _, err := d.log.Append(r); err != nil {
+		return err
+	}
+	if err := apply(); err != nil {
+		if terr := d.log.TruncateTo(off, lsn); terr != nil {
+			return fmt.Errorf("%w (and withdrawing the WAL record failed: %v)", err, terr)
+		}
+		return err
+	}
+	return nil
+}
+
+// AddQuery logs and registers a query pattern.
+func (d *DurableEngine) AddQuery(q *graph.Graph) (QueryID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nextQ, _ := d.inner.nextIDs()
+	var id QueryID
+	err := d.logged(
+		wal.Record{Kind: wal.KindAddQuery, ID: int64(nextQ), Graph: q},
+		func() (e error) { id, e = d.inner.AddQuery(q); return },
+	)
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RemoveQuery logs and deregisters a pattern (DynamicFilter engines only).
+func (d *DurableEngine) RemoveQuery(id QueryID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.logged(
+		wal.Record{Kind: wal.KindRemoveQuery, ID: int64(id)},
+		func() error { return d.inner.RemoveQuery(id) },
+	)
+}
+
+// AddStream logs and registers a stream with starting graph g0.
+func (d *DurableEngine) AddStream(g0 *graph.Graph) (StreamID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, nextS := d.inner.nextIDs()
+	var id StreamID
+	err := d.logged(
+		wal.Record{Kind: wal.KindAddStream, ID: int64(nextS), Graph: g0},
+		func() (e error) { id, e = d.inner.AddStream(g0); return },
+	)
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// StepAll logs one global timestamp's change sets and applies them. The
+// inner engines validate the whole batch before any filter state changes, so
+// a rejected batch is withdrawn from the log and leaves no trace.
+func (d *DurableEngine) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec := wal.Record{Kind: wal.KindStepAll, Changes: make(map[int64]graph.ChangeSet, len(changes))}
+	for id, cs := range changes {
+		rec.Changes[int64(id)] = cs
+	}
+	var pairs []Pair
+	err := d.logged(rec, func() (e error) { pairs, e = d.inner.StepAll(changes); return })
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// Checkpoint folds the current state into the checkpoint file atomically and
+// truncates the WAL. Safe to call at any time; concurrent mutations wait.
+func (d *DurableEngine) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errDurableClosed
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked serializes the engine state to <dir>/checkpoint.json via
+// a temp file + fsync + rename, then empties the log. A crash before the
+// rename keeps the old checkpoint and the full log; a crash between rename
+// and reset keeps both the new checkpoint and the stale records, which
+// replay then skips by LSN.
+func (d *DurableEngine) checkpointLocked() error {
+	start := time.Now()
+	file := buildSnapshotFile(d.inner.checkpointState(), d.log.LastLSN())
+	err := wal.WriteFileAtomic(d.cpPath, func(w io.Writer) error {
+		return writeSnapshotTo(w, file)
+	})
+	if err == nil {
+		err = d.log.Reset()
+	}
+	d.metrics.ObserveCheckpoint(time.Since(start), err)
+	return err
+}
+
+func (d *DurableEngine) checkpointLoop(interval time.Duration) {
+	defer d.checkpointWG.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopCheckpoint:
+			return
+		case <-ticker.C:
+			d.mu.Lock()
+			if !d.closed {
+				_ = d.checkpointLocked() // failure is observed in metrics; next tick retries
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Close writes a final checkpoint and releases the log. The engine refuses
+// further mutations afterwards.
+func (d *DurableEngine) Close() error {
+	d.stopLoop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	cpErr := d.checkpointLocked()
+	closeErr := d.log.Close()
+	if cpErr != nil {
+		return cpErr
+	}
+	return closeErr
+}
+
+// Crash releases the engine without checkpointing or flushing — the test
+// hook that simulates a hard kill. State on disk is whatever the WAL's fsync
+// policy has made durable.
+func (d *DurableEngine) Crash() error {
+	d.stopLoop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+func (d *DurableEngine) stopLoop() {
+	d.mu.Lock()
+	stop := d.stopCheckpoint
+	d.stopCheckpoint = nil
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		d.checkpointWG.Wait()
+	}
+}
+
+// Read paths delegate to the inner engine; the server's readers-writer lock
+// (and ShardedMonitor's internal lock) provide the read-side exclusion.
+
+// Candidates returns the current candidate pairs.
+func (d *DurableEngine) Candidates() []Pair { return d.inner.Candidates() }
+
+// Stats returns accumulated statistics.
+func (d *DurableEngine) Stats() Stats { return d.inner.Stats() }
+
+// QueryCount and StreamCount report workload sizes.
+func (d *DurableEngine) QueryCount() int  { return d.inner.QueryCount() }
+func (d *DurableEngine) StreamCount() int { return d.inner.StreamCount() }
+
+// SetMetrics forwards engine instrumentation to the wrapped engine.
+func (d *DurableEngine) SetMetrics(em *EngineMetrics) { d.inner.SetMetrics(em) }
+
+// CollectMetrics forwards the wrapped engine's collector surface.
+func (d *DurableEngine) CollectMetrics(emit func(name string, value float64)) {
+	if c, ok := d.inner.(interface {
+		CollectMetrics(emit func(name string, value float64))
+	}); ok {
+		c.CollectMetrics(emit)
+	}
+}
+
+// LastLSN exposes the WAL's most recent sequence number (for tests and
+// operational introspection).
+func (d *DurableEngine) LastLSN() uint64 { return d.log.LastLSN() }

@@ -93,14 +93,32 @@ func (m *Monitor) AddQuery(q *graph.Graph) (QueryID, error) {
 			return 0, fmt.Errorf("core: filter %s: %w", m.filter.Name(), ErrSealed)
 		}
 	}
+	// The ID is allocated only on success so a failed add leaks nothing.
 	id := m.nextQ
-	if err := m.filter.AddQuery(id, q); err != nil {
+	if err := m.replayAddQuery(id, q); err != nil {
 		return 0, err
 	}
-	m.nextQ++ // allocate the ID only on success so a failed add leaks nothing
+	return id, nil
+}
+
+// replayAddQuery registers a query under an explicit ID — the restore path
+// used by snapshot loading and WAL replay, which must reproduce historical ID
+// assignments exactly (including gaps left by removed queries). It skips the
+// seal check: the log only ever contains operations that were accepted, so
+// replay trusts it.
+func (m *Monitor) replayAddQuery(id QueryID, q *graph.Graph) error {
+	if _, dup := m.queries[id]; dup {
+		return fmt.Errorf("core: duplicate query id %d", id)
+	}
+	if err := m.filter.AddQuery(id, q); err != nil {
+		return err
+	}
 	m.queries[id] = q.Clone()
 	m.matchers[id] = iso.NewMatcher(m.queries[id])
-	return id, nil
+	if id >= m.nextQ {
+		m.nextQ = id + 1
+	}
+	return nil
 }
 
 // RemoveQuery deregisters a pattern. It requires a DynamicFilter.
@@ -124,12 +142,27 @@ func (m *Monitor) RemoveQuery(id QueryID) error {
 func (m *Monitor) AddStream(g0 *graph.Graph) (StreamID, error) {
 	m.sealed = true
 	id := m.nextS
-	if err := m.filter.AddStream(id, g0); err != nil {
+	if err := m.replayAddStream(id, g0); err != nil {
 		return 0, err
 	}
-	m.nextS++
-	m.streams[id] = g0.Clone()
 	return id, nil
+}
+
+// replayAddStream registers a stream under an explicit ID — the restore path
+// used by snapshot loading and WAL replay.
+func (m *Monitor) replayAddStream(id StreamID, g0 *graph.Graph) error {
+	if _, dup := m.streams[id]; dup {
+		return fmt.Errorf("core: duplicate stream id %d", id)
+	}
+	if err := m.filter.AddStream(id, g0); err != nil {
+		return err
+	}
+	m.sealed = true
+	m.streams[id] = g0.Clone()
+	if id >= m.nextS {
+		m.nextS = id + 1
+	}
+	return nil
 }
 
 // QueryCount and StreamCount report workload sizes.
@@ -146,22 +179,26 @@ func (m *Monitor) Query(id QueryID) *graph.Graph { return m.queries[id] }
 // StepAll advances one global timestamp: each entry applies a change set to
 // one stream (streams without an entry are unchanged), then the filter's
 // candidate set is collected. It returns the candidates and records stats.
+//
+// The step is atomic with respect to validation: every change set is first
+// applied to a clone of its canonical graph, and any failure rejects the
+// whole batch before the filter sees a single operation, so a mid-batch
+// error can never leave the filter and the canonical graphs diverged. Only
+// after all clones validate are the filter applies issued and the validated
+// clones swapped in as the new canonical graphs.
 func (m *Monitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
+	staged, norms, err := stageChanges(m.streams, changes)
+	if err != nil {
+		return nil, err
+	}
 	var applyDur time.Duration
-	for id, cs := range changes {
-		g, ok := m.streams[id]
-		if !ok {
-			return nil, fmt.Errorf("core: %w %d", ErrUnknownStream, id)
-		}
-		norm := cs.Normalize()
+	for id, norm := range norms {
 		start := time.Now()
 		if err := m.filter.Apply(id, norm); err != nil {
 			return nil, fmt.Errorf("core: filter %s apply on stream %d: %w", m.filter.Name(), id, err)
 		}
 		applyDur += time.Since(start)
-		if err := norm.Apply(g); err != nil {
-			return nil, fmt.Errorf("core: canonical graph of stream %d: %w", id, err)
-		}
+		m.streams[id] = staged[id]
 	}
 	start := time.Now()
 	cands := m.filter.Candidates()
@@ -177,6 +214,30 @@ func (m *Monitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) 
 // Step advances a single stream by one timestamp.
 func (m *Monitor) Step(id StreamID, cs graph.ChangeSet) ([]Pair, error) {
 	return m.StepAll(map[StreamID]graph.ChangeSet{id: cs})
+}
+
+// stageChanges validates a StepAll batch against the canonical graphs
+// without mutating them: each change set is normalized and applied to a
+// clone. On success it returns the staged post-state graphs and the
+// normalized change sets; on any failure nothing has been touched, which is
+// what makes StepAll all-or-nothing up to the filter boundary.
+func stageChanges(streams map[StreamID]*graph.Graph, changes map[StreamID]graph.ChangeSet) (map[StreamID]*graph.Graph, map[StreamID]graph.ChangeSet, error) {
+	staged := make(map[StreamID]*graph.Graph, len(changes))
+	norms := make(map[StreamID]graph.ChangeSet, len(changes))
+	for id, cs := range changes {
+		g, ok := streams[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: %w %d", ErrUnknownStream, id)
+		}
+		norm := cs.Normalize()
+		clone := g.Clone()
+		if err := norm.Apply(clone); err != nil {
+			return nil, nil, fmt.Errorf("core: invalid change set for stream %d: %w", id, err)
+		}
+		staged[id] = clone
+		norms[id] = norm
+	}
+	return staged, norms, nil
 }
 
 // Candidates returns the filter's current candidate pairs without advancing
@@ -236,3 +297,36 @@ func (m *Monitor) Stats() Stats { return m.stats }
 
 // ResetStats zeroes the statistics (e.g. after a warm-up phase).
 func (m *Monitor) ResetStats() { m.stats = Stats{} }
+
+// engineState is the logical state a checkpoint persists: the query and
+// canonical stream graphs plus the ID allocators. Filters are deterministic
+// functions of this state and are rebuilt on restore.
+type engineState struct {
+	queries map[QueryID]*graph.Graph
+	streams map[StreamID]*graph.Graph
+	nextQ   QueryID
+	nextS   StreamID
+}
+
+// checkpointState exposes the monitor's logical state for checkpointing. The
+// returned maps and graphs are shared, not copied: the caller (the durable
+// engine) holds its write-exclusion lock across serialization.
+func (m *Monitor) checkpointState() engineState {
+	return engineState{queries: m.queries, streams: m.streams, nextQ: m.nextQ, nextS: m.nextS}
+}
+
+// nextIDs reports the IDs the next AddQuery/AddStream would assign — the
+// durable engine logs an operation's ID before applying it.
+func (m *Monitor) nextIDs() (QueryID, StreamID) { return m.nextQ, m.nextS }
+
+// setNextIDs raises the ID allocators (never lowers them), restoring
+// top-of-range gaps a checkpoint recorded (e.g. the highest query was
+// removed before the checkpoint).
+func (m *Monitor) setNextIDs(q QueryID, s StreamID) {
+	if q > m.nextQ {
+		m.nextQ = q
+	}
+	if s > m.nextS {
+		m.nextS = s
+	}
+}

@@ -66,6 +66,19 @@ func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
 // Shards reports the number of filter instances.
 func (m *ShardedMonitor) Shards() int { return len(m.filters) }
 
+// QueryCount and StreamCount report workload sizes.
+func (m *ShardedMonitor) QueryCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.queries)
+}
+
+func (m *ShardedMonitor) StreamCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.streams)
+}
+
 // SetMetrics attaches registry instruments; subsequent StepAll rounds record
 // into them. A nil argument detaches.
 func (m *ShardedMonitor) SetMetrics(em *EngineMetrics) {
@@ -90,6 +103,29 @@ func (m *ShardedMonitor) AddQuery(q *graph.Graph) (QueryID, error) {
 		}
 	}
 	id := m.nextQ
+	if err := m.addQueryLocked(id, q); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// replayAddQuery registers a query under an explicit ID — the restore path
+// used by snapshot loading and WAL replay. It skips the seal check: the log
+// only ever contains operations that were accepted.
+func (m *ShardedMonitor) replayAddQuery(id QueryID, q *graph.Graph) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.addQueryLocked(id, q)
+}
+
+// addQueryLocked registers a query on every shard all-or-nothing: when a
+// shard rejects the query, the shards that already accepted it roll it back
+// (via DynamicFilter.RemoveQuery when the filter supports removal), so no
+// shard is left holding a query the others never saw. Callers hold m.mu.
+func (m *ShardedMonitor) addQueryLocked(id QueryID, q *graph.Graph) error {
+	if _, dup := m.queries[id]; dup {
+		return fmt.Errorf("core: duplicate query id %d", id)
+	}
 	for k, f := range m.filters {
 		if err := f.AddQuery(id, q); err != nil {
 			for j := k - 1; j >= 0; j-- {
@@ -103,16 +139,18 @@ func (m *ShardedMonitor) AddQuery(q *graph.Graph) (QueryID, error) {
 					break
 				}
 				if rerr := df.RemoveQuery(id); rerr != nil {
-					return 0, fmt.Errorf("core: shard %d rejected query (%v); rollback on shard %d failed: %w", k, err, j, rerr)
+					return fmt.Errorf("core: shard %d rejected query (%v); rollback on shard %d failed: %w", k, err, j, rerr)
 				}
 			}
-			return 0, fmt.Errorf("core: shard %d: %w", k, err)
+			return fmt.Errorf("core: shard %d: %w", k, err)
 		}
 	}
-	m.nextQ++ // allocate the ID only on success so a failed add leaks nothing
 	m.queries[id] = q.Clone()
 	m.matchers[id] = iso.NewMatcher(m.queries[id])
-	return id, nil
+	if id >= m.nextQ {
+		m.nextQ = id + 1
+	}
+	return nil
 }
 
 // RemoveQuery deregisters a pattern from every shard (DynamicFilter only).
@@ -141,6 +179,30 @@ func (m *ShardedMonitor) RemoveQuery(id QueryID) error {
 func (m *ShardedMonitor) AddStream(g0 *graph.Graph) (StreamID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	id := m.nextS
+	if err := m.addStreamLocked(id, g0); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// replayAddStream registers a stream under an explicit ID — the restore path
+// used by snapshot loading and WAL replay. Placement re-runs the same
+// deterministic least-loaded rule, so a replayed engine reproduces the
+// original shard assignment as long as operations arrive in log order.
+func (m *ShardedMonitor) replayAddStream(id StreamID, g0 *graph.Graph) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.addStreamLocked(id, g0)
+}
+
+// addStreamLocked places a stream on the least-loaded shard (fewest streams,
+// ties broken by lowest shard index, so placement is deterministic). Callers
+// hold m.mu.
+func (m *ShardedMonitor) addStreamLocked(id StreamID, g0 *graph.Graph) error {
+	if _, dup := m.streams[id]; dup {
+		return fmt.Errorf("core: duplicate stream id %d", id)
+	}
 	m.sealed = true
 	shard := 0
 	for i := 1; i < len(m.loads); i++ {
@@ -148,32 +210,40 @@ func (m *ShardedMonitor) AddStream(g0 *graph.Graph) (StreamID, error) {
 			shard = i
 		}
 	}
-	id := m.nextS
 	if err := m.filters[shard].AddStream(id, g0); err != nil {
-		return 0, err
+		return err
 	}
-	m.nextS++
 	m.loads[shard]++
 	m.shardOf[id] = shard
 	m.streams[id] = g0.Clone()
-	return id, nil
+	if id >= m.nextS {
+		m.nextS = id + 1
+	}
+	return nil
 }
 
 // StepAll advances one global timestamp, applying each stream's change set
 // on its shard; shards run concurrently.
+//
+// As with Monitor.StepAll, the step is atomic with respect to validation:
+// every change set is applied to a clone of its canonical graph first, and
+// any failure rejects the whole batch before a single shard sees an
+// operation. Only validated batches fan out, so a mid-batch error can never
+// leave some shards stepped and others not.
 func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	staged, norms, err := stageChanges(m.streams, changes)
+	if err != nil {
+		return nil, err
+	}
 	perShard := make([]map[StreamID]graph.ChangeSet, len(m.filters))
-	for id, cs := range changes {
-		shard, ok := m.shardOf[id]
-		if !ok {
-			return nil, fmt.Errorf("core: %w %d", ErrUnknownStream, id)
-		}
+	for id, norm := range norms {
+		shard := m.shardOf[id] // staging verified the stream exists
 		if perShard[shard] == nil {
 			perShard[shard] = make(map[StreamID]graph.ChangeSet)
 		}
-		perShard[shard][id] = cs.Normalize()
+		perShard[shard][id] = norm
 	}
 
 	start := time.Now()
@@ -206,12 +276,11 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 	collectDur := time.Since(start)
 	m.stats.FilterTime += applyDur + collectDur
 
-	// Maintain the canonical graphs (outside the timed section, matching
-	// Monitor's accounting of filter time only).
-	for id, cs := range changes {
-		if err := cs.Normalize().Apply(m.streams[id]); err != nil {
-			return nil, fmt.Errorf("core: canonical graph of stream %d: %w", id, err)
-		}
+	// Swap in the staged post-state graphs as the new canonical graphs
+	// (outside the timed section, matching Monitor's accounting of filter
+	// time only).
+	for id, g := range staged {
+		m.streams[id] = g
 	}
 	m.stats.Timestamps++
 	m.stats.CandidatePairs += int64(len(cands))
@@ -292,6 +361,35 @@ func (m *ShardedMonitor) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.stats
+}
+
+// checkpointState exposes the logical state for checkpointing; the maps and
+// graphs are shared, not copied — the durable engine excludes writers for
+// the duration of serialization.
+func (m *ShardedMonitor) checkpointState() engineState {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return engineState{queries: m.queries, streams: m.streams, nextQ: m.nextQ, nextS: m.nextS}
+}
+
+// nextIDs reports the IDs the next AddQuery/AddStream would assign.
+func (m *ShardedMonitor) nextIDs() (QueryID, StreamID) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nextQ, m.nextS
+}
+
+// setNextIDs raises the ID allocators (never lowers them), restoring
+// top-of-range gaps a checkpoint recorded.
+func (m *ShardedMonitor) setNextIDs(q QueryID, s StreamID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q > m.nextQ {
+		m.nextQ = q
+	}
+	if s > m.nextS {
+		m.nextS = s
+	}
 }
 
 // CollectMetrics implements obs.Collector: the per-shard emissions of

@@ -7,7 +7,6 @@ import (
 	"sort"
 
 	"nntstream/internal/graph"
-	"nntstream/internal/iso"
 )
 
 // Snapshot persistence: a Monitor's logical state is its query set plus the
@@ -41,6 +40,16 @@ type snapshotFile struct {
 	Version int             `json:"version"`
 	Queries []snapshotEntry `json:"queries"`
 	Streams []snapshotEntry `json:"streams"`
+	// NextQuery/NextStream persist the ID allocators so gaps at the top of
+	// the range (a removed highest query) survive a restore. Zero values are
+	// valid version-1 snapshots: restore then derives the allocators from the
+	// highest IDs present.
+	NextQuery  int `json:"next_query,omitempty"`
+	NextStream int `json:"next_stream,omitempty"`
+	// WALSeq is the LSN of the last WAL record folded into this snapshot.
+	// Replay skips records at or below it, which closes the crash window
+	// between checkpoint publication and log truncation.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -71,83 +80,105 @@ func decodeGraph(sg snapshotGraph) (*graph.Graph, error) {
 	return g, nil
 }
 
-// WriteSnapshot serializes the monitor's queries and canonical stream
-// graphs as JSON. Filter-internal state is not persisted; RestoreMonitor
-// rebuilds it deterministically.
-func (m *Monitor) WriteSnapshot(w io.Writer) error {
-	file := snapshotFile{Version: snapshotVersion}
-	qids := make([]int, 0, len(m.queries))
-	for id := range m.queries {
+// buildSnapshotFile serializes an engine's logical state, stamping walSeq as
+// the LSN already folded into the snapshot.
+func buildSnapshotFile(st engineState, walSeq uint64) snapshotFile {
+	file := snapshotFile{
+		Version:    snapshotVersion,
+		NextQuery:  int(st.nextQ),
+		NextStream: int(st.nextS),
+		WALSeq:     walSeq,
+	}
+	qids := make([]int, 0, len(st.queries))
+	for id := range st.queries {
 		qids = append(qids, int(id))
 	}
 	sort.Ints(qids)
 	for _, id := range qids {
 		file.Queries = append(file.Queries, snapshotEntry{
-			ID: id, Graph: encodeGraph(m.queries[QueryID(id)]),
+			ID: id, Graph: encodeGraph(st.queries[QueryID(id)]),
 		})
 	}
-	sids := make([]int, 0, len(m.streams))
-	for id := range m.streams {
+	sids := make([]int, 0, len(st.streams))
+	for id := range st.streams {
 		sids = append(sids, int(id))
 	}
 	sort.Ints(sids)
 	for _, id := range sids {
 		file.Streams = append(file.Streams, snapshotEntry{
-			ID: id, Graph: encodeGraph(m.streams[StreamID(id)]),
+			ID: id, Graph: encodeGraph(st.streams[StreamID(id)]),
 		})
 	}
+	return file
+}
+
+func writeSnapshotTo(w io.Writer, file snapshotFile) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(file)
+}
+
+func readSnapshotFrom(r io.Reader) (snapshotFile, error) {
+	var file snapshotFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return snapshotFile{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if file.Version != snapshotVersion {
+		return snapshotFile{}, fmt.Errorf("core: unsupported snapshot version %d", file.Version)
+	}
+	return file, nil
+}
+
+// snapshotRestorer is the subset of engine behavior snapshot loading needs;
+// both Monitor and ShardedMonitor implement it.
+type snapshotRestorer interface {
+	replayAddQuery(id QueryID, q *graph.Graph) error
+	replayAddStream(id StreamID, g0 *graph.Graph) error
+	setNextIDs(q QueryID, s StreamID)
+}
+
+// restoreInto replays a snapshot's entries into a fresh engine.
+func restoreInto(e snapshotRestorer, file snapshotFile) error {
+	for _, entry := range file.Queries {
+		g, err := decodeGraph(entry.Graph)
+		if err != nil {
+			return fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
+		}
+		if err := e.replayAddQuery(QueryID(entry.ID), g); err != nil {
+			return fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
+		}
+	}
+	for _, entry := range file.Streams {
+		g, err := decodeGraph(entry.Graph)
+		if err != nil {
+			return fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
+		}
+		if err := e.replayAddStream(StreamID(entry.ID), g); err != nil {
+			return fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
+		}
+	}
+	e.setNextIDs(QueryID(file.NextQuery), StreamID(file.NextStream))
+	return nil
+}
+
+// WriteSnapshot serializes the monitor's queries and canonical stream
+// graphs as JSON. Filter-internal state is not persisted; RestoreMonitor
+// rebuilds it deterministically.
+func (m *Monitor) WriteSnapshot(w io.Writer) error {
+	return writeSnapshotTo(w, buildSnapshotFile(m.checkpointState(), 0))
 }
 
 // RestoreMonitor rebuilds a monitor around a fresh filter from a snapshot,
 // preserving the original query and stream IDs (including gaps left by
 // removed queries).
 func RestoreMonitor(r io.Reader, f Filter) (*Monitor, error) {
-	var file snapshotFile
-	if err := json.NewDecoder(r).Decode(&file); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
-	}
-	if file.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", file.Version)
+	file, err := readSnapshotFrom(r)
+	if err != nil {
+		return nil, err
 	}
 	m := NewMonitor(f)
-	for _, entry := range file.Queries {
-		g, err := decodeGraph(entry.Graph)
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
-		}
-		id := QueryID(entry.ID)
-		if _, dup := m.queries[id]; dup {
-			return nil, fmt.Errorf("core: snapshot has duplicate query id %d", entry.ID)
-		}
-		if err := f.AddQuery(id, g); err != nil {
-			return nil, fmt.Errorf("core: snapshot query %d: %w", entry.ID, err)
-		}
-		m.queries[id] = g
-		m.matchers[id] = iso.NewMatcher(g)
-		if id >= m.nextQ {
-			m.nextQ = id + 1
-		}
-	}
-	for _, entry := range file.Streams {
-		g, err := decodeGraph(entry.Graph)
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
-		}
-		id := StreamID(entry.ID)
-		if _, dup := m.streams[id]; dup {
-			return nil, fmt.Errorf("core: snapshot has duplicate stream id %d", entry.ID)
-		}
-		if err := f.AddStream(id, g); err != nil {
-			return nil, fmt.Errorf("core: snapshot stream %d: %w", entry.ID, err)
-		}
-		m.streams[id] = g
-		if id >= m.nextS {
-			m.nextS = id + 1
-		}
-		m.sealed = true
+	if err := restoreInto(m, file); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

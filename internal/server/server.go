@@ -41,19 +41,60 @@ type metricsEngine interface {
 // requests (/v1/candidates, /v1/stats, /v1/metrics) run concurrently. This
 // relies on the core.Filter contract that Candidates is a safe read path.
 type Server struct {
-	mu       sync.RWMutex
-	engine   Engine
-	registry *obs.Registry
+	mu           sync.RWMutex
+	engine       Engine
+	registry     *obs.Registry
+	maxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes caps request bodies: large enough for any realistic
+// graph or change-set payload, small enough that a hostile request cannot
+// balloon memory. Requests over the cap get 413.
+const DefaultMaxBodyBytes = 8 << 20
 
 // New wraps an engine. A metrics registry is created and, when the engine
 // supports it, wired in so StepAll latencies land in /v1/metrics.
 func New(engine Engine) *Server {
-	s := &Server{engine: engine, registry: obs.NewRegistry()}
+	return NewWithRegistry(engine, obs.NewRegistry())
+}
+
+// NewWithRegistry wraps an engine around an existing registry, so callers
+// (cmd/serve) can register instruments — e.g. WAL durability metrics —
+// alongside the engine's and have them all served from /v1/metrics.
+func NewWithRegistry(engine Engine, reg *obs.Registry) *Server {
+	s := &Server{engine: engine, registry: reg, maxBodyBytes: DefaultMaxBodyBytes}
 	if me, ok := engine.(metricsEngine); ok {
-		me.SetMetrics(core.NewEngineMetrics(s.registry))
+		me.SetMetrics(core.NewEngineMetrics(reg))
 	}
 	return s
+}
+
+// SetMaxBodyBytes overrides the request body cap; v <= 0 restores the
+// default.
+func (s *Server) SetMaxBodyBytes(v int64) {
+	if v <= 0 {
+		v = DefaultMaxBodyBytes
+	}
+	s.maxBodyBytes = v
+}
+
+// decodeJSON reads a request body, capped at maxBodyBytes, into dst. On
+// failure it writes the error response (413 for an oversized body, 400
+// otherwise) and returns false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	defer body.Close()
+	if err := json.NewDecoder(body).Decode(&dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
 }
 
 // Registry exposes the server's metrics registry so callers (cmd/serve) can
@@ -123,8 +164,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req graphRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	g, err := req.Graph.ToGraph()
@@ -174,8 +214,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req graphRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	g, err := req.Graph.ToGraph()
@@ -199,8 +238,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req stepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	changes := make(map[core.StreamID]graph.ChangeSet, len(req.Changes))

@@ -339,3 +339,45 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatal("bad op accepted")
 	}
 }
+
+func TestServerBodyLimit(t *testing.T) {
+	s := New(core.NewMonitor(join.NewDSC(3)))
+	s.SetMaxBodyBytes(1024)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	// An oversized body is refused with 413 on every decoding endpoint. The
+	// payload is syntactically valid JSON so the size cap, not the parser,
+	// is what trips.
+	big := `{"pad":"` + strings.Repeat("x", 4096) + `"}`
+	for _, path := range []string{"/v1/queries", "/v1/streams", "/v1/step"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+
+	// A small valid request still works under the tightened cap.
+	resp, _ := do(t, http.MethodPost, srv.URL+"/v1/queries", map[string]any{"graph": edgeGraph(0, 1)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small request rejected: %d", resp.StatusCode)
+	}
+
+	// SetMaxBodyBytes(0) restores the default.
+	s.SetMaxBodyBytes(0)
+	resp2, err := http.Post(srv.URL+"/v1/streams", "application/json",
+		strings.NewReader(`{"graph":{"vertices":[{"id":0,"label":0},{"id":1,"label":1}],"edges":[{"u":0,"v":1,"label":0}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("stream add after cap reset: %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultMode selects how a FaultFile misbehaves once its byte budget is
+// exhausted.
+type FaultMode int
+
+const (
+	// FaultNone passes everything through (a FaultFile at rest).
+	FaultNone FaultMode = iota
+	// FaultError makes Write fail with an error after the budget; bytes up
+	// to the budget are still written, modeling a partially persisted
+	// record.
+	FaultError
+	// FaultShortWrite makes Write persist only the budgeted bytes and
+	// report the short count with a nil error — the laziest tear a crash
+	// can produce.
+	FaultShortWrite
+	// FaultDropSync leaves writes intact but turns Sync into a silent
+	// no-op once the budget is exhausted, modeling a device that lies
+	// about durability.
+	FaultDropSync
+)
+
+// FaultFile wraps a LogFile and injects write-path faults after a byte
+// budget, for recovery tests: torn records (FaultError, FaultShortWrite) and
+// lost durability (FaultDropSync). It is safe for concurrent use.
+type FaultFile struct {
+	mu sync.Mutex
+	f  LogFile
+	// mode and remaining define the armed fault; use FaultNone for a
+	// passthrough wrapper.
+	mode      FaultMode
+	remaining int64
+	// Tripped counts how many operations the fault affected.
+	tripped int
+	// droppedSyncs counts Sync calls silently swallowed.
+	droppedSyncs int
+}
+
+// NewFaultFile wraps f. The fault fires on the first write (or sync, for
+// FaultDropSync) that would exceed afterBytes further bytes.
+func NewFaultFile(f LogFile, mode FaultMode, afterBytes int64) *FaultFile {
+	return &FaultFile{f: f, mode: mode, remaining: afterBytes}
+}
+
+// Arm re-points the fault: mode fires once afterBytes further bytes have
+// passed through.
+func (ff *FaultFile) Arm(mode FaultMode, afterBytes int64) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.mode = mode
+	ff.remaining = afterBytes
+}
+
+// Heal disarms the fault; subsequent operations pass through.
+func (ff *FaultFile) Heal() {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.mode = FaultNone
+}
+
+// Tripped reports how many operations the fault affected.
+func (ff *FaultFile) Tripped() int {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.tripped
+}
+
+// DroppedSyncs reports how many Sync calls were silently swallowed.
+func (ff *FaultFile) DroppedSyncs() int {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.droppedSyncs
+}
+
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	switch ff.mode {
+	case FaultError, FaultShortWrite:
+		if int64(len(p)) > ff.remaining {
+			ff.tripped++
+			keep := ff.remaining
+			if keep < 0 {
+				keep = 0
+			}
+			n, err := ff.f.Write(p[:keep])
+			ff.remaining -= int64(n)
+			if ff.mode == FaultError {
+				if err == nil {
+					err = fmt.Errorf("wal: injected write fault after %d bytes", n)
+				}
+				return n, err
+			}
+			return n, err // short write, nil error unless the file itself failed
+		}
+		n, err := ff.f.Write(p)
+		ff.remaining -= int64(n)
+		return n, err
+	default:
+		n, err := ff.f.Write(p)
+		if ff.mode == FaultDropSync {
+			ff.remaining -= int64(n)
+		}
+		return n, err
+	}
+}
+
+func (ff *FaultFile) Sync() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.mode == FaultDropSync && ff.remaining <= 0 {
+		ff.tripped++
+		ff.droppedSyncs++
+		return nil
+	}
+	return ff.f.Sync()
+}
+
+func (ff *FaultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *FaultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *FaultFile) Truncate(size int64) error { return ff.f.Truncate(size) }
+
+func (ff *FaultFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for v, l := range map[graph.VertexID]graph.Label{0: 3, 1: 4, 2: 5} {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][3]int{{0, 1, 7}, {1, 2, 8}} {
+		if err := g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]), graph.Label(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	records := []Record{
+		{LSN: 1, Kind: KindAddQuery, ID: 0, Graph: g},
+		{LSN: 2, Kind: KindAddStream, ID: 3, Graph: g},
+		{LSN: 3, Kind: KindRemoveQuery, ID: 0},
+		{LSN: 4, Kind: KindStepAll, Changes: map[int64]graph.ChangeSet{
+			0: {graph.InsertOp(5, 1, 6, 2, 9), graph.DeleteOp(0, 1)},
+			3: {graph.DeleteOp(1, 2)},
+			7: nil,
+		}},
+	}
+	for _, want := range records {
+		payload, err := appendPayload(nil, want)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", want.Kind, err)
+		}
+		got, err := decodePayload(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Kind, err)
+		}
+		if got.LSN != want.LSN || got.Kind != want.Kind || got.ID != want.ID {
+			t.Fatalf("%s: header round trip: got %+v", want.Kind, got)
+		}
+		if want.Graph != nil && !got.Graph.Equal(want.Graph) {
+			t.Fatalf("%s: graph round trip mismatch", want.Kind)
+		}
+		if len(got.Changes) != len(want.Changes) {
+			t.Fatalf("%s: changes round trip: got %d streams, want %d",
+				want.Kind, len(got.Changes), len(want.Changes))
+		}
+		for id, cs := range want.Changes {
+			gcs := got.Changes[id]
+			if len(gcs) != len(cs) {
+				t.Fatalf("stream %d: got %d ops, want %d", id, len(gcs), len(cs))
+			}
+			for i := range cs {
+				if gcs[i] != cs[i] {
+					t.Fatalf("stream %d op %d: got %v, want %v", id, i, gcs[i], cs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRecordEncodeDeterministic(t *testing.T) {
+	r := Record{LSN: 9, Kind: KindStepAll, Changes: map[int64]graph.ChangeSet{
+		2: {graph.DeleteOp(0, 1)}, 0: {graph.DeleteOp(2, 3)}, 1: nil,
+	}}
+	a, err := appendPayload(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := appendPayload(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("encoding is not deterministic across map iteration orders")
+		}
+	}
+}
+
+func TestRecordDecodeRejectsDamage(t *testing.T) {
+	payload, err := appendPayload(nil, Record{LSN: 1, Kind: KindAddQuery, ID: 2, Graph: testGraph(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail to parse (no silent partial decode).
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodePayload(payload[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(payload))
+		}
+	}
+	// Trailing garbage must fail too.
+	if _, err := decodePayload(append(append([]byte{}, payload...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Unknown kinds must fail.
+	bad := append([]byte{}, payload...)
+	bad[1] = 0xEE // kind byte follows the 1-byte LSN varint
+	if _, err := decodePayload(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

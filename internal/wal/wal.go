@@ -1,0 +1,396 @@
+// Package wal is the durability substrate of the monitoring engine: an
+// append-only write-ahead log of logical engine mutations (query and stream
+// registrations, per-timestamp change sets) plus crash-safe file helpers for
+// checkpointing.
+//
+// Records are length-prefixed and CRC32-checksummed, carry strictly
+// increasing log sequence numbers, and are written with a single sequential
+// write each, so a crash can tear at most the final record. Opening a log
+// replays its valid prefix and physically truncates the torn tail instead of
+// failing — recovery after a hard kill is the designed-for path, not an
+// error path. Fsync policy is configurable per log: every append, on a
+// background interval, or never (leaving flushing to the OS).
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when the log fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: zero acknowledged-write loss,
+	// append latency includes the device flush.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background cadence: a crash loses at most
+	// the last interval's appends.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache: fastest, weakest.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps the -fsync flag values onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// LogFile is the file surface the log needs; *os.File satisfies it, and
+// FaultFile wraps one for recovery tests.
+type LogFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// DefaultSyncInterval is the SyncInterval cadence when Options leaves it
+// zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the background flush cadence for SyncInterval
+	// (default DefaultSyncInterval).
+	SyncInterval time.Duration
+	// OnRecord, when non-nil, receives each valid record of the existing
+	// log during Open, in LSN order — the recovery replay hook. An error
+	// aborts Open.
+	OnRecord func(Record) error
+	// Metrics receives append/fsync/recovery observations; nil disables.
+	Metrics *Metrics
+	// WrapFile, when non-nil, wraps the opened file — the fault-injection
+	// hook for tests.
+	WrapFile func(LogFile) LogFile
+}
+
+// Log is a single-file append-only record log. Appends are serialized
+// internally; one Log has exactly one writer process (no advisory locking —
+// the engine layer guarantees it).
+type Log struct {
+	mu      sync.Mutex
+	f       LogFile
+	path    string
+	offset  int64 // end of the valid frame region (includes the magic)
+	lastLSN uint64
+	policy  SyncPolicy
+	dirty   bool  // bytes written since the last fsync
+	err     error // sticky failure; the log refuses further appends
+	metrics *Metrics
+	scratch []byte
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if absent) the log at path, replays the valid record
+// prefix through opts.OnRecord, truncates any torn tail, and positions the
+// log for appending. LSNs continue from the last valid record.
+func Open(path string, opts Options) (*Log, error) {
+	raw, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	var f LogFile = raw
+	if opts.WrapFile != nil {
+		f = opts.WrapFile(raw)
+	}
+	l := &Log{
+		f:       f,
+		path:    path,
+		policy:  opts.Sync,
+		metrics: opts.Metrics,
+	}
+	if err := l.recover(opts.OnRecord); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		interval := opts.SyncInterval
+		if interval <= 0 {
+			interval = DefaultSyncInterval
+		}
+		l.stop = make(chan struct{})
+		l.wg.Add(1)
+		go l.syncLoop(interval)
+	}
+	return l, nil
+}
+
+// recover scans the existing file, replays valid records, and truncates the
+// file to the valid prefix.
+func (l *Log) recover(onRecord func(Record) error) error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: reading %s: %w", l.path, err)
+	}
+	if len(data) == 0 {
+		if _, err := l.f.Write(fileMagic); err != nil {
+			return fmt.Errorf("wal: writing magic to %s: %w", l.path, err)
+		}
+		l.offset = int64(len(fileMagic))
+		l.dirty = true
+		return nil
+	}
+	if len(data) < len(fileMagic) {
+		// A crash tore the very first write (the magic itself): start over.
+		if err := l.rewindTo(0); err != nil {
+			return err
+		}
+		if _, err := l.f.Write(fileMagic); err != nil {
+			return fmt.Errorf("wal: rewriting magic to %s: %w", l.path, err)
+		}
+		l.offset = int64(len(fileMagic))
+		l.dirty = true
+		l.metrics.observeRecovery(scanResult{}, int64(len(data)))
+		return nil
+	}
+	if !bytes.Equal(data[:len(fileMagic)], fileMagic) {
+		// Never truncate a file that isn't ours.
+		return fmt.Errorf("wal: %s is not a WAL file (bad magic)", l.path)
+	}
+	res, err := scanFrames(data[len(fileMagic):], onRecord)
+	if err != nil {
+		return fmt.Errorf("wal: replaying %s: %w", l.path, err)
+	}
+	end := int64(len(fileMagic)) + res.validLen
+	torn := int64(len(data)) - end
+	l.metrics.observeRecovery(res, torn)
+	if torn > 0 {
+		if err := l.rewindTo(end); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing truncated %s: %w", l.path, err)
+		}
+	} else {
+		if _, err := l.f.Seek(end, io.SeekStart); err != nil {
+			return fmt.Errorf("wal: seeking %s: %w", l.path, err)
+		}
+	}
+	l.offset = end
+	l.lastLSN = res.lastLSN
+	return nil
+}
+
+// rewindTo truncates the file to size and repositions the write cursor
+// there (a bare Truncate leaves the cursor beyond EOF, where the next write
+// would punch a zero-filled hole).
+func (l *Log) rewindTo(size int64) error {
+	if err := l.f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncating %s to %d: %w", l.path, size, err)
+	}
+	if _, err := l.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking %s to %d: %w", l.path, size, err)
+	}
+	return nil
+}
+
+// Append assigns the next LSN to r, frames it, and writes it in one write
+// call, fsyncing per policy. It returns the assigned LSN. On a failed or
+// short write the file is rolled back to the previous record boundary so the
+// log never retains a half-written frame across its own error return.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	r.LSN = l.lastLSN + 1
+	payload, err := appendPayload(l.scratch[:0], r)
+	if err != nil {
+		return 0, err
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	l.scratch = payload[:0]
+
+	start := time.Now()
+	n, werr := l.f.Write(frame)
+	if werr != nil || n < len(frame) {
+		// Partially written frame: roll the file back to the record
+		// boundary so the in-memory view stays truthful. (A crash before
+		// the rollback is fine — recovery truncates the torn frame.)
+		if rerr := l.rewindTo(l.offset); rerr != nil {
+			l.err = fmt.Errorf("wal: rollback after failed append: %w", rerr)
+			return 0, l.err
+		}
+		l.dirty = true
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		return 0, fmt.Errorf("wal: appending record %d: %w", r.LSN, werr)
+	}
+	l.metrics.observeAppend(time.Since(start), n)
+	l.offset += int64(n)
+	l.lastLSN = r.LSN
+	l.dirty = true
+	if l.policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return r.LSN, nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		// Post-failure fsync semantics are undefined (the page cache may
+		// have dropped the dirty pages), so the error is sticky: the log
+		// refuses further appends rather than risk silent divergence.
+		l.err = fmt.Errorf("wal: fsync %s: %w", l.path, err)
+		return l.err
+	}
+	l.metrics.observeFsync(time.Since(start))
+	l.dirty = false
+	return nil
+}
+
+// Offset returns the current end of the log in bytes (including the file
+// magic).
+func (l *Log) Offset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// LastLSN returns the LSN of the most recent record (0 when the log is
+// empty and no record was ever appended).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// TruncateTo rolls the log back to a boundary previously captured with
+// Offset/LastLSN — the engine's undo for an append whose apply was rejected.
+// It is only valid between a failed apply and the next Append.
+func (l *Log) TruncateTo(offset int64, lastLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if offset > l.offset {
+		return fmt.Errorf("wal: TruncateTo(%d) beyond end %d", offset, l.offset)
+	}
+	if err := l.rewindTo(offset); err != nil {
+		l.err = err
+		return err
+	}
+	l.offset = offset
+	l.lastLSN = lastLSN
+	l.dirty = true
+	if l.policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Reset empties the log after a checkpoint made its records redundant. The
+// LSN counter is not reset — LSNs stay monotonic across resets so a
+// checkpoint's recorded LSN unambiguously splits old records from new.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.rewindTo(int64(len(fileMagic))); err != nil {
+		l.err = err
+		return err
+	}
+	l.offset = int64(len(fileMagic))
+	l.dirty = true
+	return l.syncLocked()
+}
+
+// Close stops the background sync (if any), flushes, and closes the file.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		l.wg.Wait()
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var syncErr error
+	if l.dirty && l.err == nil {
+		syncErr = l.syncLocked()
+	}
+	closeErr := l.f.Close()
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: closing %s: %w", l.path, closeErr)
+	}
+	return nil
+}
+
+func (l *Log) syncLoop(interval time.Duration) {
+	defer l.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.dirty && l.err == nil {
+				_ = l.syncLocked() // sticky error surfaces on the next Append
+			}
+			l.mu.Unlock()
+		}
+	}
+}
