@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeededViolationsExitNonzero proves the driver actually fails the build
+// on findings: the seeded package violates three analyzers at once.
+func TestSeededViolationsExitNonzero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"./testdata/seeded"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"locksafe", "mapdeterm", "sentinelerr", "seeded.go:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "/root/") || strings.Contains(out, "\\root\\") {
+		t.Errorf("findings should print module-relative paths:\n%s", out)
+	}
+}
+
+// TestCleanTreeExitsZero is the self-hosting gate: the module — including
+// internal/analysis itself — must be clean under its own linter.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"locksafe", "sentinelerr", "mapdeterm", "walorder", "metricname"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+// TestSubsetSelection runs only sentinelerr over the seeded package and
+// expects the locksafe violation to go unreported.
+func TestSubsetSelection(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-analyzers", "sentinelerr", "./testdata/seeded"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "sentinelerr") || strings.Contains(out, "locksafe") {
+		t.Errorf("subset selection leaked analyzers:\n%s", out)
+	}
+}

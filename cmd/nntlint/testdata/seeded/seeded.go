@@ -1,0 +1,32 @@
+// Package seeded deliberately violates nntlint invariants; the driver test
+// asserts a nonzero exit and per-analyzer findings on this package.
+package seeded
+
+import (
+	"errors"
+	"sync"
+)
+
+var errSeeded = errors.New("seeded")
+
+type box struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func (b *box) leakLock() {
+	b.mu.Lock() // locksafe: no matching release
+	b.n["k"]++
+}
+
+func (b *box) unsortedKeys() []string {
+	var keys []string
+	for k := range b.n {
+		keys = append(keys, k) // mapdeterm: no following sort
+	}
+	return keys
+}
+
+func isSeeded(err error) bool {
+	return err == errSeeded // sentinelerr: == on a module sentinel
+}

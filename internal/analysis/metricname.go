@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"nntstream/internal/obs"
+)
+
+// MetricName enforces that every metric name handed to the obs layer is a
+// compile-time string constant satisfying the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). The registry panics at runtime on bad names
+// and Gather silently drops them; this analyzer moves both failure modes to
+// build time. It checks (*obs.Registry).Counter/Gauge/Histogram and calls
+// through emit-style func(name string, value float64) values (the
+// obs.Collector surface). The validity check is obs.ValidMetricName itself,
+// so the analyzer and the runtime can never disagree.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names are compile-time constants matching the Prometheus grammar",
+	Run:  runMetricName,
+}
+
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runMetricName(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if where := metricNameSite(info, call); where != "" {
+				checkMetricNameArg(p, where, call.Args[0])
+			}
+			return true
+		})
+	}
+}
+
+// metricNameSite reports how call consumes a metric name in its first
+// argument: an obs.Registry registration method, or an emit-style
+// func(string, float64) value. Returns "" for unrelated calls.
+func metricNameSite(info *types.Info, call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && registryMethods[sel.Sel.Name] {
+		if isNamed(info.TypeOf(sel.X), "internal/obs", "Registry") {
+			return "(*obs.Registry)." + sel.Sel.Name
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Variadic() {
+		return ""
+	}
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return ""
+	}
+	if !isBasic(sig.Params().At(0).Type(), types.String) || !isBasic(sig.Params().At(1).Type(), types.Float64) {
+		return ""
+	}
+	return "metric emit " + exprKey(call.Fun)
+}
+
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// checkMetricNameArg requires arg to be a string constant that
+// obs.ValidMetricName accepts.
+func checkMetricNameArg(p *Pass, where string, arg ast.Expr) {
+	tv, ok := p.Pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(), "metric name passed to %s is not a compile-time string constant; dynamic names defeat the build-time grammar check", where)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !obs.ValidMetricName(name) {
+		p.Reportf(arg.Pos(), "metric name %q passed to %s violates the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*", name, where)
+	}
+}

@@ -1,0 +1,86 @@
+// Package mapdeterm is the fixture for the mapdeterm analyzer: map iteration
+// that feeds slices or encoders must be sorted before use.
+package mapdeterm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func goodSorted(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortNames(names []string) []string {
+	sort.Strings(names)
+	return names
+}
+
+func goodHelperSorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return sortNames(names)
+}
+
+func badUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates entries in map-iteration order with no following sort`
+	}
+	return keys
+}
+
+func badFprint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want `map iteration feeds fmt\.Fprintf`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds b\.WriteString`
+	}
+	return b.String()
+}
+
+func goodPerBucketSort(m map[int]int, n int) [][]int {
+	buckets := make([][]int, n)
+	for k, v := range m {
+		buckets[k%n] = append(buckets[k%n], v)
+	}
+	for i := range buckets {
+		sort.Ints(buckets[i])
+	}
+	return buckets
+}
+
+func goodPerIteration(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+func goodSuppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore mapdeterm diagnostic dump; ordering is not durably observable
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package metricname is the fixture for the metricname analyzer: obs metric
+// names are compile-time constants matching the Prometheus grammar.
+package metricname
+
+import "nntstream/internal/obs"
+
+const goodName = "nntstream_fixture_total"
+
+func goodRegister(r *obs.Registry) {
+	r.Counter(goodName, "a counted thing")
+	r.Gauge("nntstream_fixture_ratio", "a ratio")
+	r.Histogram("nntstream_fixture_seconds", "a latency", nil)
+	r.Counter(goodName+"_sum", "const") // constant folding keeps this checkable
+}
+
+func badRegister(r *obs.Registry) {
+	r.Counter("0bad", "leading digit") // want `metric name .0bad. passed to \(\*obs\.Registry\)\.Counter violates the Prometheus grammar`
+	r.Gauge("has space", "bad gauge")  // want `metric name .has space. passed to \(\*obs\.Registry\)\.Gauge violates the Prometheus grammar`
+	r.Gauge(dynamicName(), "computed") // want `metric name passed to \(\*obs\.Registry\)\.Gauge is not a compile-time string constant`
+}
+
+func dynamicName() string { return "nntstream_runtime" }
+
+type collector struct {
+	n int
+}
+
+func (c *collector) CollectMetrics(emit func(name string, value float64)) {
+	emit("nntstream_fixture_size", float64(c.n))
+	emit("bad name", 1) // want `metric name .bad name. passed to metric emit emit violates the Prometheus grammar`
+}

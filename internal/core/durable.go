@@ -181,16 +181,20 @@ func (d *DurableEngine) restoreCheckpoint() (uint64, error) {
 func (d *DurableEngine) replayRecord(r wal.Record) error {
 	switch r.Kind {
 	case wal.KindAddQuery:
+		//lint:ignore walorder replay applies a record already present in the log; re-appending would duplicate it
 		return d.inner.replayAddQuery(QueryID(r.ID), r.Graph)
 	case wal.KindRemoveQuery:
+		//lint:ignore walorder replay applies a record already present in the log; re-appending would duplicate it
 		return d.inner.RemoveQuery(QueryID(r.ID))
 	case wal.KindAddStream:
+		//lint:ignore walorder replay applies a record already present in the log; re-appending would duplicate it
 		return d.inner.replayAddStream(StreamID(r.ID), r.Graph)
 	case wal.KindStepAll:
 		changes := make(map[StreamID]graph.ChangeSet, len(r.Changes))
 		for id, cs := range r.Changes {
 			changes[StreamID(id)] = cs
 		}
+		//lint:ignore walorder replay applies a record already present in the log; re-appending would duplicate it
 		_, err := d.inner.StepAll(changes)
 		return err
 	default:

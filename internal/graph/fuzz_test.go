@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -65,6 +66,54 @@ func TestParsersNeverPanic(t *testing.T) {
 			_, _ = ReadStream(bytes.NewReader(in))
 		}()
 	}
+}
+
+// FuzzDecodeGraph is the native-fuzzer counterpart of TestParsersNeverPanic:
+// arbitrary input must produce an error — never a panic — and anything the
+// parsers accept must survive a write/read round trip equal to the first
+// parse (the CLI tools copy workload files through exactly this path).
+func FuzzDecodeGraph(f *testing.F) {
+	f.Add("t # 0\nv 1 10\nv 2 20\ne 1 2 5\n")
+	f.Add("t # 0\nv 1 10\nt # 1\nv 1 11\n")
+	f.Add("t # 0\nv 1 10\nv 2 20\ne 1 2 5\nts\n+ 3 1 30 10 6\n- 1 2\nts\n")
+	f.Add("# comment\n\nt # 0\n")
+	f.Add("e 1 2 3\n")
+	f.Add("v -1 -2\n")
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		if graphs, err := ReadDatabase(strings.NewReader(input)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteDatabase(&buf, graphs); err != nil {
+				t.Fatalf("accepted database does not re-encode: %v", err)
+			}
+			again, err := ReadDatabase(&buf)
+			if err != nil {
+				t.Fatalf("round trip re-parse failed: %v\noriginal input: %q", err, input)
+			}
+			if len(again) != len(graphs) {
+				t.Fatalf("round trip changed graph count: %d != %d", len(again), len(graphs))
+			}
+			for i := range graphs {
+				if !graphs[i].Equal(again[i]) {
+					t.Fatalf("round trip changed graph %d\ninput: %q", i, input)
+				}
+			}
+		}
+		if s, err := ReadStream(strings.NewReader(input)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteStream(&buf, s); err != nil {
+				t.Fatalf("accepted stream does not re-encode: %v", err)
+			}
+			again, err := ReadStream(&buf)
+			if err != nil {
+				t.Fatalf("stream round trip re-parse failed: %v\noriginal input: %q", err, input)
+			}
+			if !s.Start.Equal(again.Start) || len(s.Changes) != len(again.Changes) {
+				t.Fatalf("stream round trip diverged\ninput: %q", input)
+			}
+		}
+	})
 }
 
 // TestStreamReplayRejectsCorruption: a stream whose ops conflict with its

@@ -106,6 +106,7 @@ func (f *DSC) AddQuery(id core.QueryID, q *graph.Graph) error {
 				f.cols[d] = col
 			}
 			if !f.sealed {
+				//lint:ignore mapdeterm build-phase columns are batch-sorted once at seal(), before any read
 				col.entries = append(col.entries, dscEntry{key: k, value: c})
 				continue
 			}

@@ -46,10 +46,7 @@ func (f *NL) AddQuery(id core.QueryID, q *graph.Graph) error {
 	if _, ok := f.queries[id]; ok {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
-	vecs := make([]npv.Vector, 0, q.VertexCount())
-	for _, v := range projectQuery(q, f.depth) {
-		vecs = append(vecs, v)
-	}
+	vecs := npv.VectorsByVertex(projectQuery(q, f.depth))
 	f.queries[id] = vecs
 	for sid, st := range f.streams {
 		f.verdict[sid][id] = f.evaluateOne(st, vecs)

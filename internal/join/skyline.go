@@ -70,10 +70,7 @@ func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
 	if _, ok := f.queries[id]; ok {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
-	var vecs []npv.Vector
-	for _, v := range projectQuery(q, f.depth) {
-		vecs = append(vecs, v)
-	}
+	vecs := npv.VectorsByVertex(projectQuery(q, f.depth))
 	maximal := skyline.Maximal(vecs)
 	// Probe heaviest first: those are the least likely to be dominated, so
 	// a non-joinable pair is refuted early.

@@ -1,6 +1,8 @@
 package npv
 
 import (
+	"sort"
+
 	"nntstream/internal/graph"
 	"nntstream/internal/nnt"
 )
@@ -108,6 +110,7 @@ func (s *Space) TakeDirty() []graph.VertexID {
 	for v := range s.dirty {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	s.dirty = make(map[graph.VertexID]struct{})
 	return out
 }
@@ -144,4 +147,22 @@ func ProjectForest(f *nnt.Forest) map[graph.VertexID]Vector {
 // for static graphs (queries are projected once at registration).
 func ProjectGraph(g *graph.Graph, depth int) map[graph.VertexID]Vector {
 	return ProjectForest(nnt.NewForest(g, depth))
+}
+
+// VectorsByVertex flattens a projection map into a slice in ascending vertex
+// order. Map iteration order is randomized in Go; filters that keep their
+// query vectors in a slice must build it through this helper so that probe
+// order — and everything downstream of it, from skyline tie-breaks to
+// candidate evaluation cost — is reproducible run to run.
+func VectorsByVertex(m map[graph.VertexID]Vector) []Vector {
+	ids := make([]graph.VertexID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	vecs := make([]Vector, 0, len(ids))
+	for _, id := range ids {
+		vecs = append(vecs, m[id])
+	}
+	return vecs
 }

@@ -18,7 +18,7 @@ type Collector interface {
 func Gather(c Collector) map[string]float64 {
 	out := make(map[string]float64)
 	c.CollectMetrics(func(name string, value float64) {
-		if !validName(name) {
+		if !ValidMetricName(name) {
 			return
 		}
 		out[name] += value

@@ -187,16 +187,18 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 }
 
 func (r *Registry) register(m metric) {
-	if !validName(m.metricName()) {
+	if !ValidMetricName(m.metricName()) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", m.metricName()))
 	}
 	r.byName[m.metricName()] = m
 	r.ordered = append(r.ordered, m)
 }
 
-// validName checks the Prometheus metric-name grammar
-// [a-zA-Z_:][a-zA-Z0-9_:]*.
-func validName(s string) bool {
+// ValidMetricName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. The registry panics on names that fail it, and
+// the nntlint metricname analyzer enforces it at build time for constant
+// names, so invalid names never survive to a scrape.
+func ValidMetricName(s string) bool {
 	if s == "" {
 		return false
 	}

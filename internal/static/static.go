@@ -35,8 +35,8 @@ func NewIndex(db []*graph.Graph, depth int) *Index {
 	}
 	for i, g := range db {
 		m := make(map[npv.Dim]int32)
-		for _, v := range npv.ProjectGraph(g, depth) {
-			ix.vecs[i] = append(ix.vecs[i], v)
+		ix.vecs[i] = npv.VectorsByVertex(npv.ProjectGraph(g, depth))
+		for _, v := range ix.vecs[i] {
 			for d, c := range v {
 				if c > m[d] {
 					m[d] = c
@@ -134,11 +134,7 @@ func (ix *Index) dominated(i int, u npv.Vector) bool {
 }
 
 func queryMaximal(q *graph.Graph, depth int) []npv.Vector {
-	var qv []npv.Vector
-	for _, v := range npv.ProjectGraph(q, depth) {
-		qv = append(qv, v)
-	}
-	return skyline.Maximal(qv)
+	return skyline.Maximal(npv.VectorsByVertex(npv.ProjectGraph(q, depth)))
 }
 
 func max(a, b int) int {
