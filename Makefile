@@ -1,7 +1,17 @@
 # Verification gate: everything CI (and a pre-commit run) should enforce.
 GO ?= go
 
-.PHONY: verify fmt vet lint build test race crashtest fuzzsmoke
+# Per-target fuzzing budget for fuzzsmoke. Pre-commit keeps the 5s default;
+# the nightly CI schedule raises it (FUZZTIME=60s) for a deeper campaign.
+FUZZTIME ?= 5s
+
+# benchjson knobs: where the trajectory lands and how long each benchmark
+# runs. 100ms is the CI smoke setting; recorded baselines should use longer.
+BENCHJSON_OUT ?= BENCH_pr.json
+BENCHTIME ?= 100ms
+REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+.PHONY: verify fmt vet lint build test race crashtest fuzzsmoke benchjson benchgate
 
 verify: fmt vet lint build test race
 
@@ -29,8 +39,11 @@ test:
 
 # The engines and the HTTP server claim concurrent-read safety; hold them to
 # it under the race detector. The WAL claims safe concurrent appends/syncs.
+# internal/join carries the parallel ApplyAll fan-out and internal/gindex is
+# shared read-side state under the sharded engine — both race-critical.
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
+		./internal/join/... ./internal/gindex/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
 # writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering
@@ -39,10 +52,22 @@ crashtest:
 	$(GO) test -count=3 -run 'Crash|Recover|Torn|KillPoint|Fault' ./internal/wal/... ./internal/core/...
 
 # Short native-fuzzer runs over every decoder that reads crash debris or
-# user files: WAL frames, checkpoint JSON, graph text formats. Five seconds
-# per target keeps it pre-commit-friendly; drop the -fuzztime for a real
-# campaign.
+# user files: WAL frames, checkpoint JSON, graph text formats. The default
+# budget keeps it pre-commit-friendly; override FUZZTIME for a real campaign.
 fuzzsmoke:
-	$(GO) test -fuzz=FuzzReadRecord -fuzztime=5s ./internal/wal/
-	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/core/
-	$(GO) test -fuzz=FuzzDecodeGraph -fuzztime=5s ./internal/graph/
+	$(GO) test -fuzz=FuzzReadRecord -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph/
+
+# Record a benchmark trajectory (see benchjson_test.go): every figure bench
+# as JSON, tagged with the current revision.
+benchjson:
+	$(GO) test -run - -benchjson $(BENCHJSON_OUT) -benchjson-rev $(REV) \
+		-bench . -benchtime $(BENCHTIME) .
+
+# Gate the current trajectory against the committed baseline. Warn-only by
+# default mirrors CI; drop WARN_ONLY for a hard gate.
+WARN_ONLY ?= -warn-only
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_main.json -candidate $(BENCHJSON_OUT) \
+		-threshold 0.20 $(WARN_ONLY)

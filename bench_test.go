@@ -156,45 +156,52 @@ func benchReal(b *testing.B) streamBenchWorkload   { workloads(); return wReal }
 // --- Figure 12: NNT depth sweep (candidate computation per query) ---
 
 func BenchmarkFig12_Depth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		depth := depth
+		b.Run(map[int]string{1: "L1", 2: "L2", 3: "L3", 4: "L4"}[depth], func(b *testing.B) {
+			benchFig12Depth(b, depth)
+		})
+	}
+}
+
+// benchFig12Depth is the leaf body of the depth sweep, factored out so the
+// benchjson registry can drive each depth as an independent record.
+func benchFig12Depth(b *testing.B, depth int) {
 	workloads()
 	r := rand.New(rand.NewSource(112))
 	queries := datagen.QuerySet(chemDB, 10, 8, r)
-	for _, depth := range []int{1, 2, 3, 4} {
-		b.Run(map[int]string{1: "L1", 2: "L2", 3: "L3", 4: "L4"}[depth], func(b *testing.B) {
-			vecs := make([][]npv.Vector, len(chemDB))
-			for i, g := range chemDB {
-				for _, v := range npv.ProjectGraph(g, depth) {
-					vecs[i] = append(vecs[i], v)
-				}
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				q := queries[i%len(queries)]
-				var qv []npv.Vector
-				for _, v := range npv.ProjectGraph(q, depth) {
-					qv = append(qv, v)
-				}
-				maximal := skyline.Maximal(qv)
-				count := 0
-			graphs:
-				for gi := range vecs {
-					for _, u := range maximal {
-						ok := false
-						for _, v := range vecs[gi] {
-							if v.Dominates(u) {
-								ok = true
-								break
-							}
-						}
-						if !ok {
-							continue graphs
-						}
+	vecs := make([][]npv.Vector, len(chemDB))
+	for i, g := range chemDB {
+		for _, v := range npv.ProjectGraph(g, depth) {
+			vecs[i] = append(vecs[i], v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		var qv []npv.Vector
+		for _, v := range npv.ProjectGraph(q, depth) {
+			qv = append(qv, v)
+		}
+		maximal := skyline.Maximal(qv)
+		count := 0
+	graphs:
+		for gi := range vecs {
+			for _, u := range maximal {
+				ok := false
+				for _, v := range vecs[gi] {
+					if v.Dominates(u) {
+						ok = true
+						break
 					}
-					count++
 				}
-				_ = count
+				if !ok {
+					continue graphs
+				}
 			}
-		})
+			count++
+		}
+		_ = count
 	}
 }
 
@@ -350,6 +357,50 @@ func BenchmarkFig17_DSC(b *testing.B) {
 
 func BenchmarkFig17_Skyline(b *testing.B) {
 	benchStream(b, func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, benchReal(b))
+}
+
+// --- Parallel evaluation: worker pool over the multi-stream figures ---
+
+// benchParallelStream replays a multi-stream workload through a filter with
+// an explicit worker bound. The Monitor batches each timestamp through
+// ApplyAll, so the filter's evalPool fans the dirty (stream, query) pairs
+// across the workers; W1 is the sequential inline path and the baseline the
+// speedup in BENCH_<rev>.json is measured against. The output contract (pool
+// results identical to sequential) is pinned by internal/join's determinism
+// tests, so these benches only measure cost.
+func benchParallelStream(b *testing.B, mk func() core.Filter, w streamBenchWorkload, workers int) {
+	workloads()
+	f := mk()
+	f.(core.ParallelFilter).SetWorkers(workers)
+	s := newStepper(b, f, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(b)
+	}
+}
+
+func BenchmarkParallel_NL_W1(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewNL(join.DefaultDepth) }, benchSparse(b), 1)
+}
+
+func BenchmarkParallel_NL_W4(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewNL(join.DefaultDepth) }, benchSparse(b), 4)
+}
+
+func BenchmarkParallel_DSC_W1(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchSparse(b), 1)
+}
+
+func BenchmarkParallel_DSC_W4(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewDSC(join.DefaultDepth) }, benchSparse(b), 4)
+}
+
+func BenchmarkParallel_Skyline_W1(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, benchReal(b), 1)
+}
+
+func BenchmarkParallel_Skyline_W4(b *testing.B) {
+	benchParallelStream(b, func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, benchReal(b), 4)
 }
 
 // --- Ablation: branch-compatible NNT vs NPV vs exact ---

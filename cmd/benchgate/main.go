@@ -1,0 +1,140 @@
+// Command benchgate diffs two benchmark trajectory files produced by the
+// root test binary's -benchjson mode and fails (exit 1) when any benchmark
+// regressed past the threshold:
+//
+//	benchgate -baseline BENCH_main.json -candidate BENCH_pr.json [-threshold 0.20] [-warn-only]
+//
+// A regression is candidate ns/op > baseline ns/op * (1 + threshold).
+// Benchmarks present on only one side are reported but never fail the gate
+// (benches come and go across PRs); environment mismatches (GOMAXPROCS, Go
+// version) are surfaced so noisy comparisons can be discounted. -warn-only
+// downgrades regressions to warnings — CI uses it while the committed
+// baseline is young and short -benchtime runs are noisy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nntstream/internal/benchfmt"
+)
+
+type deltaKind int
+
+const (
+	deltaOK deltaKind = iota
+	deltaImproved
+	deltaRegressed
+	deltaMissing // in baseline only
+	deltaNew     // in candidate only
+)
+
+type delta struct {
+	name     string
+	kind     deltaKind
+	baseline float64 // ns/op; 0 when kind == deltaNew
+	cand     float64 // ns/op; 0 when kind == deltaMissing
+	ratio    float64 // cand / baseline when both sides exist
+}
+
+// compare diffs candidate against baseline. threshold is the fractional
+// slowdown tolerated before a benchmark counts as regressed (0.20 = +20%);
+// the same fraction in the other direction is reported as an improvement.
+// Deltas come back sorted by name.
+func compare(baseline, candidate *benchfmt.Report, threshold float64) []delta {
+	var out []delta
+	for _, b := range baseline.Results {
+		c, ok := candidate.Lookup(b.Name)
+		if !ok {
+			out = append(out, delta{name: b.Name, kind: deltaMissing, baseline: b.NsPerOp})
+			continue
+		}
+		d := delta{name: b.Name, baseline: b.NsPerOp, cand: c.NsPerOp, ratio: c.NsPerOp / b.NsPerOp}
+		switch {
+		case d.ratio > 1+threshold:
+			d.kind = deltaRegressed
+		case d.ratio < 1-threshold:
+			d.kind = deltaImproved
+		default:
+			d.kind = deltaOK
+		}
+		out = append(out, d)
+	}
+	for _, c := range candidate.Results {
+		if _, ok := baseline.Lookup(c.Name); !ok {
+			out = append(out, delta{name: c.Name, kind: deltaNew, cand: c.NsPerOp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (d delta) String() string {
+	switch d.kind {
+	case deltaMissing:
+		return fmt.Sprintf("missing  %-32s baseline %.0f ns/op, absent from candidate", d.name, d.baseline)
+	case deltaNew:
+		return fmt.Sprintf("new      %-32s candidate %.0f ns/op, absent from baseline", d.name, d.cand)
+	}
+	verb := map[deltaKind]string{deltaOK: "ok", deltaImproved: "improved", deltaRegressed: "REGRESSED"}[d.kind]
+	return fmt.Sprintf("%-8s %-32s %.0f -> %.0f ns/op (%+.1f%%)",
+		verb, d.name, d.baseline, d.cand, (d.ratio-1)*100)
+}
+
+func loadReport(path string) (*benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchfmt.Decode(f)
+}
+
+func run(baselinePath, candidatePath string, threshold float64, warnOnly bool, w *os.File) int {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(w, "benchgate: baseline: %v\n", err)
+		return 2
+	}
+	cand, err := loadReport(candidatePath)
+	if err != nil {
+		fmt.Fprintf(w, "benchgate: candidate: %v\n", err)
+		return 2
+	}
+	if base.GoMaxProcs != cand.GoMaxProcs || base.GoVersion != cand.GoVersion {
+		fmt.Fprintf(w, "benchgate: environment mismatch: baseline %s GOMAXPROCS=%d vs candidate %s GOMAXPROCS=%d — treat deltas with suspicion\n",
+			base.GoVersion, base.GoMaxProcs, cand.GoVersion, cand.GoMaxProcs)
+	}
+	regressions := 0
+	for _, d := range compare(base, cand, threshold) {
+		fmt.Fprintln(w, d)
+		if d.kind == deltaRegressed {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		if warnOnly {
+			fmt.Fprintf(w, "benchgate: %d regression(s) past %.0f%% (warn-only; not failing)\n", regressions, threshold*100)
+			return 0
+		}
+		fmt.Fprintf(w, "benchgate: %d regression(s) past %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	fmt.Fprintln(w, "benchgate: no regressions")
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline trajectory JSON (required)")
+	candidate := flag.String("candidate", "", "candidate trajectory JSON (required)")
+	threshold := flag.Float64("threshold", 0.20, "fractional ns/op slowdown tolerated before failing")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
+	flag.Parse()
+	if *baseline == "" || *candidate == "" || *threshold < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(run(*baseline, *candidate, *threshold, *warnOnly, os.Stdout))
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nntstream/internal/benchfmt"
+)
+
+func report(pairs map[string]float64) *benchfmt.Report {
+	r := &benchfmt.Report{GoVersion: "go1.24.0", GoMaxProcs: 1}
+	for name, ns := range pairs {
+		r.Add(benchfmt.Result{Name: name, Iterations: 10, NsPerOp: ns})
+	}
+	return r
+}
+
+func kinds(ds []delta) map[string]deltaKind {
+	out := make(map[string]deltaKind, len(ds))
+	for _, d := range ds {
+		out[d.name] = d.kind
+	}
+	return out
+}
+
+func TestCompareClassifies(t *testing.T) {
+	base := report(map[string]float64{
+		"Steady":   1000,
+		"Faster":   1000,
+		"Slower":   1000,
+		"Boundary": 1000,
+		"Gone":     1000,
+	})
+	cand := report(map[string]float64{
+		"Steady":   1050, // +5%: within threshold
+		"Faster":   500,  // -50%: improved
+		"Slower":   1300, // +30%: regressed
+		"Boundary": 1200, // exactly +20%: not past the threshold
+		"Added":    42,
+	})
+	got := kinds(compare(base, cand, 0.20))
+	want := map[string]deltaKind{
+		"Steady":   deltaOK,
+		"Faster":   deltaImproved,
+		"Slower":   deltaRegressed,
+		"Boundary": deltaOK,
+		"Gone":     deltaMissing,
+		"Added":    deltaNew,
+	}
+	for name, k := range want {
+		if got[name] != k {
+			t.Errorf("%s classified %v; want %v", name, got[name], k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("deltas = %v; want %d entries", got, len(want))
+	}
+}
+
+func TestCompareSortedByName(t *testing.T) {
+	base := report(map[string]float64{"b": 1, "a": 1, "c": 1})
+	ds := compare(base, report(map[string]float64{"c": 1, "d": 1}), 0.2)
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].name >= ds[i].name {
+			t.Fatalf("deltas not sorted: %v then %v", ds[i-1].name, ds[i].name)
+		}
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r *benchfmt.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(map[string]float64{"X": 1000}))
+	good := writeReport(t, dir, "good.json", report(map[string]float64{"X": 1100}))
+	bad := writeReport(t, dir, "bad.json", report(map[string]float64{"X": 2000}))
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	if code := run(base, good, 0.20, false, devnull); code != 0 {
+		t.Fatalf("within threshold: exit %d; want 0", code)
+	}
+	if code := run(base, bad, 0.20, false, devnull); code != 1 {
+		t.Fatalf("regression: exit %d; want 1", code)
+	}
+	if code := run(base, bad, 0.20, true, devnull); code != 0 {
+		t.Fatalf("warn-only regression: exit %d; want 0", code)
+	}
+	if code := run(filepath.Join(dir, "absent.json"), good, 0.20, false, devnull); code != 2 {
+		t.Fatalf("missing baseline: exit %d; want 2", code)
+	}
+	if code := run(base, bad, 1.5, false, devnull); code != 0 {
+		t.Fatalf("loose threshold: exit %d; want 0", code)
+	}
+}

@@ -6,8 +6,9 @@
 // acknowledged operations on restart.
 //
 //	serve [-addr :8080] [-filter dsc|skyline|nl|branch|graphgrep|gindex1|gindex2|exact]
-//	      [-depth 3] [-shards 0] [-data-dir dir] [-fsync always|interval|never]
-//	      [-fsync-interval 100ms] [-checkpoint-interval 5m] [-max-body-bytes n]
+//	      [-depth 3] [-shards 0] [-workers 0] [-data-dir dir]
+//	      [-fsync always|interval|never] [-fsync-interval 100ms]
+//	      [-checkpoint-interval 5m] [-max-body-bytes n]
 //	      [-pprof addr] [-metrics-interval d]
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	filterName := flag.String("filter", "dsc", "filter: dsc, skyline, nl, branch, graphgrep, gindex1, gindex2, exact")
 	depth := flag.Int("depth", join.DefaultDepth, "NNT depth bound for the NPV filters")
 	shards := flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS; 1 disables sharding)")
+	workers := flag.Int("workers", 0, "per-shard evaluation workers for the NPV join filters (0 = auto: GOMAXPROCS/shards, GOMAXPROCS when unsharded; 1 = sequential)")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush cadence for -fsync interval")
@@ -64,6 +66,7 @@ func main() {
 		}
 		durable, err = core.OpenDurableEngine(*dataDir, core.FilterFactory(factory), core.DurableOptions{
 			Shards:             *shards,
+			Workers:            *workers,
 			Fsync:              policy,
 			FsyncInterval:      *fsyncInterval,
 			CheckpointInterval: *checkpointInterval,
@@ -76,9 +79,14 @@ func main() {
 			*dataDir, policy, *checkpointInterval, durable.QueryCount(), durable.StreamCount())
 		engine = durable
 	} else if *shards == 1 {
-		engine = core.NewMonitor(factory())
+		f := factory()
+		if pf, ok := f.(core.ParallelFilter); ok {
+			pf.SetWorkers(*workers)
+		}
+		engine = core.NewMonitor(f)
 	} else {
-		engine = core.NewShardedMonitor(core.FilterFactory(factory), *shards)
+		engine = core.NewShardedMonitorWith(core.FilterFactory(factory),
+			core.ShardedOptions{Shards: *shards, Workers: *workers})
 	}
 
 	srv := server.NewWithRegistry(engine, registry)

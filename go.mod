@@ -1,3 +1,7 @@
 module nntstream
 
 go 1.22
+
+// Pin the toolchain CI resolves so local `make verify` and the workflow's
+// setup-go step agree on the compiler bit-for-bit.
+toolchain go1.24.0

@@ -1,0 +1,89 @@
+// Package benchfmt defines the JSON interchange format for the repo's
+// benchmark trajectory: a Report is one run of the figure benchmarks
+// (BENCH_<rev>.json), and cmd/benchgate diffs two Reports to gate
+// regressions in CI.
+//
+// The package deliberately does not import testing: the root test binary
+// converts testing.BenchmarkResult values into plain Result records, and
+// benchgate consumes the JSON without linking the test framework.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Result is the cost of one benchmark: wall time and allocations per
+// operation, plus the iteration count the numbers were averaged over so a
+// reader can judge how trustworthy a short -benchtime run is.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is one benchmark run. Environment fields record the conditions
+// the numbers were taken under; comparisons across different GOMAXPROCS
+// or Go versions are still mechanically possible but benchgate surfaces
+// the mismatch so a human can discount them.
+type Report struct {
+	Revision   string   `json:"revision,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Benchtime  string   `json:"benchtime,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// Add appends a result. Encode sorts, so call order does not matter.
+func (r *Report) Add(res Result) { r.Results = append(r.Results, res) }
+
+// Lookup returns the result with the given name.
+func (r *Report) Lookup(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// Encode writes the report as indented JSON with results sorted by name,
+// so successive runs of the same suite produce line-diffable files.
+func (r *Report) Encode(w io.Writer) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("benchfmt: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a report and validates the minimum shape benchgate needs:
+// every result is named, named once, and has a positive per-op time.
+func Decode(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for _, res := range r.Results {
+		if res.Name == "" {
+			return nil, fmt.Errorf("benchfmt: result with empty name")
+		}
+		if seen[res.Name] {
+			return nil, fmt.Errorf("benchfmt: duplicate result %q", res.Name)
+		}
+		seen[res.Name] = true
+		if res.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchfmt: result %q has non-positive ns_per_op", res.Name)
+		}
+	}
+	return &r, nil
+}

@@ -69,6 +69,10 @@ type DurableOptions struct {
 	// Shards selects the inner engine: <=1 wraps a single Monitor, >1 a
 	// ShardedMonitor with that many shards.
 	Shards int
+	// Workers bounds the evaluation worker pool handed to ParallelFilters:
+	// per shard for the sharded engine (0 = max(1, GOMAXPROCS/shards)),
+	// for the whole filter in single-monitor mode (0 = GOMAXPROCS).
+	Workers int
 	// Fsync is the WAL fsync policy (default wal.SyncAlways).
 	Fsync wal.SyncPolicy
 	// FsyncInterval is the cadence for wal.SyncInterval (default
@@ -103,9 +107,13 @@ func OpenDurableEngine(dir string, factory FilterFactory, opts DurableOptions) (
 		metrics: opts.Metrics,
 	}
 	if opts.Shards > 1 {
-		d.inner = NewShardedMonitor(factory, opts.Shards)
+		d.inner = NewShardedMonitorWith(factory, ShardedOptions{Shards: opts.Shards, Workers: opts.Workers})
 	} else {
-		d.inner = NewMonitor(factory())
+		f := factory()
+		if pf, ok := f.(ParallelFilter); ok {
+			pf.SetWorkers(opts.Workers)
+		}
+		d.inner = NewMonitor(f)
 	}
 
 	// A crash during checkpointing can leave a stale temp file; the rename

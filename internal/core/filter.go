@@ -69,6 +69,32 @@ type Filter interface {
 	Candidates() []Pair
 }
 
+// BatchApplier is an optional Filter extension: the engine hands one
+// timestamp's change sets for all of its (or its shard's) streams to the
+// filter at once, so the filter can fan the per-(stream, query) dominance
+// re-evaluation out over a bounded worker pool instead of walking the
+// streams one by one.
+//
+// ApplyAll must be observationally equivalent to calling Apply once per
+// entry in any order — entries address distinct streams, and the engines
+// validate every change set against a cloned canonical graph before the
+// fan-out, so a mid-batch failure reports an error with the filter state
+// unspecified, exactly like a failed Apply sequence.
+type BatchApplier interface {
+	// ApplyAll advances several streams by one timestamp's change sets.
+	ApplyAll(changes map[StreamID]graph.ChangeSet) error
+}
+
+// ParallelFilter is implemented by filters whose evaluation fans out over
+// a bounded worker pool. SetWorkers(n) bounds the pool at n goroutines;
+// n <= 0 sizes it to runtime.GOMAXPROCS and n == 1 forces the sequential
+// path. Filters default to sequential until an engine opts them in, so
+// the paper-faithful single-core cost model stays the default for direct
+// library use.
+type ParallelFilter interface {
+	SetWorkers(n int)
+}
+
 // DynamicFilter extends Filter with a dynamic query workload — the paper's
 // stated future work (Section II-B). Implementations accept AddQuery after
 // streams are registered (immediately evaluating the new pattern against

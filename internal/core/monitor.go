@@ -192,13 +192,26 @@ func (m *Monitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, error) 
 		return nil, err
 	}
 	var applyDur time.Duration
-	for id, norm := range norms {
+	if ba, ok := m.filter.(BatchApplier); ok {
+		// Batch-capable filters take the whole validated timestamp at once
+		// and fan the (stream, query) re-evaluation out internally.
 		start := time.Now()
-		if err := m.filter.Apply(id, norm); err != nil {
-			return nil, fmt.Errorf("core: filter %s apply on stream %d: %w", m.filter.Name(), id, err)
+		if err := ba.ApplyAll(norms); err != nil {
+			return nil, fmt.Errorf("core: filter %s batch apply: %w", m.filter.Name(), err)
 		}
-		applyDur += time.Since(start)
-		m.streams[id] = staged[id]
+		applyDur = time.Since(start)
+		for id, g := range staged {
+			m.streams[id] = g
+		}
+	} else {
+		for id, norm := range norms {
+			start := time.Now()
+			if err := m.filter.Apply(id, norm); err != nil {
+				return nil, fmt.Errorf("core: filter %s apply on stream %d: %w", m.filter.Name(), id, err)
+			}
+			applyDur += time.Since(start)
+			m.streams[id] = staged[id]
+		}
 	}
 	start := time.Now()
 	cands := m.filter.Candidates()

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"nntstream/internal/graph"
+)
+
+// batchFilter is a passthrough that records how the engine hands batches
+// to it: ApplyAll invocations, their stream sets, and the worker bound it
+// was configured with. Its Candidates are returned deliberately unsorted
+// to prove the engines' merge re-establishes (Stream, Query) order.
+type batchFilter struct {
+	mu       sync.Mutex
+	queries  []QueryID
+	streams  []StreamID
+	workers  int
+	applies  int
+	batches  [][]StreamID
+	verdicts map[StreamID]bool
+}
+
+func newBatchFilter() *batchFilter { return &batchFilter{verdicts: map[StreamID]bool{}} }
+
+func (f *batchFilter) Name() string { return "batch-passthrough" }
+func (f *batchFilter) AddQuery(id QueryID, _ *graph.Graph) error {
+	f.queries = append(f.queries, id)
+	return nil
+}
+func (f *batchFilter) AddStream(id StreamID, _ *graph.Graph) error {
+	f.streams = append(f.streams, id)
+	return nil
+}
+func (f *batchFilter) Apply(StreamID, graph.ChangeSet) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.applies++
+	return nil
+}
+func (f *batchFilter) ApplyAll(changes map[StreamID]graph.ChangeSet) error {
+	ids := make([]StreamID, 0, len(changes))
+	for id := range changes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batches = append(f.batches, ids)
+	return nil
+}
+func (f *batchFilter) SetWorkers(n int) { f.workers = n }
+
+// Candidates returns every pair in descending order — the worst case for
+// a merge that relies on its inputs being pre-sorted.
+func (f *batchFilter) Candidates() []Pair {
+	var out []Pair
+	for i := len(f.streams) - 1; i >= 0; i-- {
+		for j := len(f.queries) - 1; j >= 0; j-- {
+			out = append(out, Pair{Stream: f.streams[i], Query: f.queries[j]})
+		}
+	}
+	return out
+}
+
+var (
+	_ Filter         = (*batchFilter)(nil)
+	_ BatchApplier   = (*batchFilter)(nil)
+	_ ParallelFilter = (*batchFilter)(nil)
+)
+
+func engineWorkload(t *testing.T, addQuery func(*graph.Graph) (QueryID, error), addStream func(*graph.Graph) (StreamID, error), queries, streams int) []StreamID {
+	t.Helper()
+	q := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+	for i := 0; i < queries; i++ {
+		if _, err := addQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []StreamID
+	for i := 0; i < streams; i++ {
+		g := buildGraph(t, map[graph.VertexID]graph.Label{0: 0, 1: 1}, [][3]int{{0, 1, 0}})
+		id, err := addStream(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestMonitorPrefersBatchApplier checks that StepAll hands a batch-capable
+// filter the whole validated timestamp in one ApplyAll call instead of a
+// per-stream Apply walk.
+func TestMonitorPrefersBatchApplier(t *testing.T) {
+	f := newBatchFilter()
+	m := NewMonitor(f)
+	ids := engineWorkload(t, m.AddQuery, m.AddStream, 2, 3)
+	changes := map[StreamID]graph.ChangeSet{
+		ids[0]: {graph.DeleteOp(0, 1)},
+		ids[2]: {graph.DeleteOp(0, 1)},
+	}
+	if _, err := m.StepAll(changes); err != nil {
+		t.Fatal(err)
+	}
+	if f.applies != 0 {
+		t.Fatalf("Apply called %d times; batch filters must receive ApplyAll", f.applies)
+	}
+	if len(f.batches) != 1 || len(f.batches[0]) != 2 {
+		t.Fatalf("batches = %v; want one batch of two streams", f.batches)
+	}
+	// The canonical graphs advanced despite the batch path.
+	if m.StreamGraph(ids[0]).EdgeCount() != 0 {
+		t.Fatal("canonical graph not advanced through the batch path")
+	}
+}
+
+// TestShardedWorkersOption pins the pool-sizing plumbing: an explicit
+// Workers option reaches every shard's filter, and the default splits
+// GOMAXPROCS across the shards.
+func TestShardedWorkersOption(t *testing.T) {
+	var made []*batchFilter
+	factory := func() Filter {
+		f := newBatchFilter()
+		made = append(made, f)
+		return f
+	}
+	m := NewShardedMonitorWith(factory, ShardedOptions{Shards: 2, Workers: 5})
+	if m.Workers() != 5 {
+		t.Fatalf("Workers() = %d; want 5", m.Workers())
+	}
+	for i, f := range made {
+		if f.workers != 5 {
+			t.Fatalf("shard %d got SetWorkers(%d); want 5", i, f.workers)
+		}
+	}
+
+	made = nil
+	def := NewShardedMonitor(factory, 2)
+	want := runtime.GOMAXPROCS(0) / 2
+	if want < 1 {
+		want = 1
+	}
+	if def.Workers() != want {
+		t.Fatalf("default Workers() = %d; want GOMAXPROCS/shards = %d", def.Workers(), want)
+	}
+}
+
+// TestShardedStepAllBatchesPerShard checks that each shard's filter gets
+// exactly its own streams in one ApplyAll batch.
+func TestShardedStepAllBatchesPerShard(t *testing.T) {
+	var made []*batchFilter
+	factory := func() Filter {
+		f := newBatchFilter()
+		made = append(made, f)
+		return f
+	}
+	m := NewShardedMonitorWith(factory, ShardedOptions{Shards: 2, Workers: 2})
+	ids := engineWorkload(t, m.AddQuery, m.AddStream, 1, 4)
+	changes := make(map[StreamID]graph.ChangeSet, len(ids))
+	for _, id := range ids {
+		changes[id] = graph.ChangeSet{graph.DeleteOp(0, 1)}
+	}
+	if _, err := m.StepAll(changes); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, f := range made {
+		if f.applies != 0 {
+			t.Fatalf("shard %d used per-stream Apply", i)
+		}
+		if len(f.batches) != 1 {
+			t.Fatalf("shard %d batches = %v; want exactly one", i, f.batches)
+		}
+		total += len(f.batches[0])
+	}
+	if total != len(ids) {
+		t.Fatalf("batched %d streams across shards; want %d", total, len(ids))
+	}
+}
+
+// TestShardedCollectSortedUnderPool is the collect-ordering contract: even
+// when every shard emits its candidates in reverse order and the shards
+// run concurrently, the merged output of StepAll and Candidates is sorted
+// by (StreamID, QueryID).
+func TestShardedCollectSortedUnderPool(t *testing.T) {
+	m := NewShardedMonitorWith(func() Filter { return newBatchFilter() },
+		ShardedOptions{Shards: 3, Workers: 4})
+	ids := engineWorkload(t, m.AddQuery, m.AddStream, 3, 7)
+	changes := make(map[StreamID]graph.ChangeSet, len(ids))
+	for _, id := range ids {
+		changes[id] = graph.ChangeSet{graph.DeleteOp(0, 1)}
+	}
+	sorted := func(ps []Pair) bool {
+		return sort.SliceIsSorted(ps, func(i, j int) bool {
+			if ps[i].Stream != ps[j].Stream {
+				return ps[i].Stream < ps[j].Stream
+			}
+			return ps[i].Query < ps[j].Query
+		})
+	}
+	for step := 0; step < 3; step++ {
+		pairs, err := m.StepAll(changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != len(ids)*3 {
+			t.Fatalf("step %d: %d pairs; want %d", step, len(pairs), len(ids)*3)
+		}
+		if !sorted(pairs) {
+			t.Fatalf("step %d: StepAll output not sorted: %v", step, pairs)
+		}
+	}
+	if got := m.Candidates(); !sorted(got) {
+		t.Fatalf("Candidates not sorted: %v", got)
+	}
+}

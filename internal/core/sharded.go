@@ -33,6 +33,7 @@ type FilterFactory func() Filter
 type ShardedMonitor struct {
 	mu       sync.RWMutex
 	filters  []Filter
+	workers  int   // per-shard evaluation workers handed to ParallelFilters
 	loads    []int // streams placed per shard, for least-loaded placement
 	shardOf  map[StreamID]int
 	queries  map[QueryID]*graph.Graph
@@ -45,12 +46,39 @@ type ShardedMonitor struct {
 	metrics  *EngineMetrics
 }
 
-// NewShardedMonitor creates shards filter instances (0 uses GOMAXPROCS).
+// ShardedOptions configures a ShardedMonitor beyond the defaults.
+type ShardedOptions struct {
+	// Shards is the filter instance count; 0 uses GOMAXPROCS.
+	Shards int
+	// Workers bounds the per-shard evaluation pool handed to filters that
+	// implement ParallelFilter. 0 sizes it to max(1, GOMAXPROCS/shards),
+	// so the shard fan-out times the in-shard fan-out tracks the machine's
+	// parallelism instead of oversubscribing it; 1 forces the sequential
+	// in-shard path. Filters that are not ParallelFilters ignore it.
+	Workers int
+}
+
+// NewShardedMonitor creates shards filter instances (0 uses GOMAXPROCS)
+// with default per-shard evaluation workers.
 func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
+	return NewShardedMonitorWith(factory, ShardedOptions{Shards: shards})
+}
+
+// NewShardedMonitorWith creates a sharded engine with explicit options.
+func NewShardedMonitorWith(factory FilterFactory, opts ShardedOptions) *ShardedMonitor {
+	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / shards
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	m := &ShardedMonitor{
+		workers:  workers,
 		loads:    make([]int, shards),
 		shardOf:  make(map[StreamID]int),
 		queries:  make(map[QueryID]*graph.Graph),
@@ -58,10 +86,17 @@ func NewShardedMonitor(factory FilterFactory, shards int) *ShardedMonitor {
 		streams:  make(map[StreamID]*graph.Graph),
 	}
 	for i := 0; i < shards; i++ {
-		m.filters = append(m.filters, factory())
+		f := factory()
+		if pf, ok := f.(ParallelFilter); ok {
+			pf.SetWorkers(workers)
+		}
+		m.filters = append(m.filters, f)
 	}
 	return m
 }
+
+// Workers reports the per-shard evaluation worker bound.
+func (m *ShardedMonitor) Workers() int { return m.workers }
 
 // Shards reports the number of filter instances.
 func (m *ShardedMonitor) Shards() int { return len(m.filters) }
@@ -256,6 +291,14 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 		wg.Add(1)
 		go func(i int, f Filter) {
 			defer wg.Done()
+			// Batch-capable filters fan the shard's whole timestamp out
+			// over their own worker pool; others walk it stream by stream.
+			if ba, ok := f.(BatchApplier); ok {
+				if err := ba.ApplyAll(perShard[i]); err != nil {
+					errs[i] = fmt.Errorf("core: shard %d: %w", i, err)
+				}
+				return
+			}
 			for id, cs := range perShard[i] {
 				if err := f.Apply(id, cs); err != nil {
 					errs[i] = fmt.Errorf("core: shard %d stream %d: %w", i, id, err)
@@ -399,6 +442,7 @@ func (m *ShardedMonitor) CollectMetrics(emit func(name string, value float64)) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	emit("nntstream_engine_shards", float64(len(m.filters)))
+	emit("nntstream_engine_shard_workers", float64(m.workers))
 	maxLoad := 0
 	for _, l := range m.loads {
 		if l > maxLoad {

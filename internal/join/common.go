@@ -22,6 +22,7 @@ package join
 
 import (
 	"fmt"
+	"sort"
 
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
@@ -67,6 +68,48 @@ func (k qKey) String() string { return fmt.Sprintf("Q%d/%d", k.Q, k.V) }
 // projectQuery computes the per-vertex NPVs of a static query graph.
 func projectQuery(q *graph.Graph, depth int) map[graph.VertexID]npv.Vector {
 	return npv.ProjectGraph(q, depth)
+}
+
+// batchStreamIDs extracts a change batch's stream IDs in ascending order.
+// The fan-out indexes tasks by position in this slice, so a fixed order is
+// what makes the parallel merge — and the error reported for an invalid
+// batch — deterministic.
+func batchStreamIDs(changes map[core.StreamID]graph.ChangeSet) []core.StreamID {
+	ids := make([]core.StreamID, 0, len(changes))
+	for id := range changes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedQueryIDs extracts registered query IDs in ascending order — the
+// pair-task enumeration order of the batch path.
+func sortedQueryIDs(m map[core.QueryID][]npv.Vector) []core.QueryID {
+	qids := make([]core.QueryID, 0, len(m))
+	for qid := range m {
+		qids = append(qids, qid)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	return qids
+}
+
+// pairTask is one (stream, query) re-evaluation unit of a parallel batch.
+type pairTask struct {
+	sid core.StreamID
+	qid core.QueryID
+}
+
+// firstError returns the lowest-index non-nil error of a fan-out, so a
+// failing batch reports the same error the sequential loop would have hit
+// first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dominatedByAny reports whether any vector in the space dominates u, along

@@ -40,8 +40,11 @@ type DSC struct {
 	streams map[core.StreamID]*dscStream
 	// domUpdates counts dominance-counter adjustments (incDom+decDom) over
 	// the run — the paper's "entries crossed" work measure. Written only on
-	// the (serialized) maintenance path, read by CollectMetrics.
+	// the (serialized) maintenance path — parallel batches accumulate
+	// per-stream counts and merge them after the join — and read by
+	// CollectMetrics.
 	domUpdates int64
+	pool       evalPool
 }
 
 type dscColumn struct {
@@ -65,7 +68,11 @@ type dscStream struct {
 	covered map[core.QueryID]int
 }
 
-var _ core.DynamicFilter = (*DSC)(nil)
+var (
+	_ core.DynamicFilter  = (*DSC)(nil)
+	_ core.BatchApplier   = (*DSC)(nil)
+	_ core.ParallelFilter = (*DSC)(nil)
+)
 
 // NewDSC returns a dominated-set-cover filter with the given NNT depth.
 func NewDSC(depth int) *DSC {
@@ -81,6 +88,9 @@ func NewDSC(depth int) *DSC {
 
 // Name implements core.Filter.
 func (f *DSC) Name() string { return "NPV-DSC" }
+
+// SetWorkers implements core.ParallelFilter.
+func (f *DSC) SetWorkers(n int) { f.pool.setWorkers(n) }
 
 // AddQuery implements core.Filter. Before the first stream, entries are
 // batched and sorted once; afterwards (core.DynamicFilter) each entry is
@@ -250,9 +260,11 @@ func (f *DSC) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		covered: make(map[core.QueryID]int),
 	}
 	f.streams[id] = ds
+	var work int64
 	for _, v := range ds.st.space.TakeDirty() {
-		f.updateVertex(ds, v)
+		f.updateVertex(ds, v, &work)
 	}
+	f.domUpdates += work
 	return nil
 }
 
@@ -262,19 +274,57 @@ func (f *DSC) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	if !ok {
 		return fmt.Errorf("join: unknown stream %d", id)
 	}
+	work, err := f.applyStream(ds, cs)
+	f.domUpdates += work
+	return err
+}
+
+// applyStream advances one stream: NNT maintenance, then the dominance
+// counter updates of the dirty vertices. It touches only ds (and the
+// read-only shared columns), so distinct streams' calls are independent —
+// the property ApplyAll's fan-out relies on. The returned work count is
+// merged into domUpdates by the caller.
+func (f *DSC) applyStream(ds *dscStream, cs graph.ChangeSet) (int64, error) {
 	if err := ds.st.apply(cs); err != nil {
-		return err
+		return 0, err
 	}
+	var work int64
 	for _, v := range ds.st.space.TakeDirty() {
-		f.updateVertex(ds, v)
+		f.updateVertex(ds, v, &work)
 	}
-	return nil
+	return work, nil
+}
+
+// ApplyAll implements core.BatchApplier: one task per stream, because
+// DSC's dominance re-evaluation *is* the per-stream counter maintenance —
+// every (stream, query) verdict is an aggregate (covered == qsize) the
+// stream's own counters answer, so the stream is the finest unit that
+// avoids write sharing. Tasks write only their own stream's state and
+// work slot; the merge walks slots in StreamID order.
+func (f *DSC) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
+	ids := batchStreamIDs(changes)
+	errs := make([]error, len(ids))
+	works := make([]int64, len(ids))
+	f.pool.run(len(ids), func(i int) {
+		id := ids[i]
+		ds, ok := f.streams[id]
+		if !ok {
+			errs[i] = fmt.Errorf("join: unknown stream %d", id)
+			return
+		}
+		works[i], errs[i] = f.applyStream(ds, changes[id])
+	})
+	for _, w := range works {
+		f.domUpdates += w
+	}
+	return firstError(errs)
 }
 
 // updateVertex moves stream vertex v's position counters to match its
 // current NPV, adjusting dominant counters for exactly the query entries
-// crossed in each dimension.
-func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID) {
+// crossed in each dimension. Counter work is accumulated into *work so
+// concurrent per-stream tasks never share a cell.
+func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID, work *int64) {
 	newVec := ds.st.space.Vector(v) // nil when v was retired
 	pos := ds.pos[v]
 
@@ -304,11 +354,11 @@ func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID) {
 		switch {
 		case newPos > oldPos:
 			for _, e := range col.entries[oldPos:newPos] {
-				f.incDom(ds, v, e.key)
+				f.incDom(ds, v, e.key, work)
 			}
 		case newPos < oldPos:
 			for _, e := range col.entries[newPos:oldPos] {
-				f.decDom(ds, v, e.key)
+				f.decDom(ds, v, e.key, work)
 			}
 		}
 		if newPos == 0 {
@@ -325,8 +375,8 @@ func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID) {
 	}
 }
 
-func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey) {
-	f.domUpdates++
+func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey, work *int64) {
+	*work++
 	dom := ds.dom[v]
 	if dom == nil {
 		dom = make(map[qKey]int)
@@ -341,8 +391,8 @@ func (f *DSC) incDom(ds *dscStream, v graph.VertexID, k qKey) {
 	}
 }
 
-func (f *DSC) decDom(ds *dscStream, v graph.VertexID, k qKey) {
-	f.domUpdates++
+func (f *DSC) decDom(ds *dscStream, v graph.VertexID, k qKey, work *int64) {
+	*work++
 	dom := ds.dom[v]
 	if dom[k] == f.nnz[k] {
 		ds.cover[k]--
@@ -404,4 +454,5 @@ func (f *DSC) CollectMetrics(emit func(name string, value float64)) {
 	emit("nntstream_filter_streams", float64(len(f.streams)))
 	emit("nntstream_dsc_position_vertices", float64(posVerts))
 	emit("nntstream_dsc_dominance_vertices", float64(domVerts))
+	f.pool.collect(emit)
 }

@@ -19,12 +19,18 @@ type NL struct {
 	streams map[core.StreamID]*streamState
 	verdict map[core.StreamID]map[core.QueryID]bool
 	// vectorScans counts stream vectors scanned during dominance checks over
-	// the run. Written only on the (serialized) maintenance path, read by
-	// CollectMetrics.
+	// the run. Written only on the (serialized) maintenance path — parallel
+	// batches accumulate per-task counts and merge them after the join — and
+	// read by CollectMetrics.
 	vectorScans int64
+	pool        evalPool
 }
 
-var _ core.DynamicFilter = (*NL)(nil)
+var (
+	_ core.DynamicFilter  = (*NL)(nil)
+	_ core.BatchApplier   = (*NL)(nil)
+	_ core.ParallelFilter = (*NL)(nil)
+)
 
 // NewNL returns a nested-loop filter with the given NNT depth.
 func NewNL(depth int) *NL {
@@ -38,6 +44,9 @@ func NewNL(depth int) *NL {
 
 // Name implements core.Filter.
 func (f *NL) Name() string { return "NPV-NL" }
+
+// SetWorkers implements core.ParallelFilter.
+func (f *NL) SetWorkers(n int) { f.pool.setWorkers(n) }
 
 // AddQuery implements core.Filter; queries may also arrive while streams
 // are live (core.DynamicFilter), in which case the new pattern is evaluated
@@ -88,10 +97,63 @@ func (f *NL) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	if err := st.apply(cs); err != nil {
 		return err
 	}
-	if len(st.space.TakeDirty()) == 0 {
+	if !st.space.HasDirty() {
 		return nil // nothing changed; verdicts stand
 	}
+	st.space.TakeDirty() // NL re-evaluates wholesale; consume the set
 	f.evaluate(id)
+	return nil
+}
+
+// ApplyAll implements core.BatchApplier: NNT maintenance runs one task per
+// stream, then dominance re-evaluation fans out one task per dirty
+// (stream, query) pair. Each task writes only its own slot, and the merge
+// walks slots in (StreamID, QueryID) order, so the verdicts — and
+// therefore Candidates — are bit-identical to the sequential path.
+func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
+	ids := batchStreamIDs(changes)
+	errs := make([]error, len(ids))
+	dirty := make([]bool, len(ids))
+	f.pool.run(len(ids), func(i int) {
+		id := ids[i]
+		st, ok := f.streams[id]
+		if !ok {
+			errs[i] = fmt.Errorf("join: unknown stream %d", id)
+			return
+		}
+		if err := st.apply(changes[id]); err != nil {
+			errs[i] = err
+			return
+		}
+		if st.space.HasDirty() {
+			st.space.TakeDirty()
+			dirty[i] = true
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return err
+	}
+
+	qids := sortedQueryIDs(f.queries)
+	var tasks []pairTask
+	for i, id := range ids {
+		if !dirty[i] {
+			continue
+		}
+		for _, qid := range qids {
+			tasks = append(tasks, pairTask{sid: id, qid: qid})
+		}
+	}
+	verdicts := make([]bool, len(tasks))
+	scans := make([]int64, len(tasks))
+	f.pool.run(len(tasks), func(i int) {
+		t := tasks[i]
+		verdicts[i], scans[i] = evalQuery(f.streams[t.sid], f.queries[t.qid])
+	})
+	for i, t := range tasks {
+		f.verdict[t.sid][t.qid] = verdicts[i]
+		f.vectorScans += scans[i]
+	}
 	return nil
 }
 
@@ -104,14 +166,24 @@ func (f *NL) evaluate(id core.StreamID) {
 }
 
 func (f *NL) evaluateOne(st *streamState, vecs []npv.Vector) bool {
+	ok, scanned := evalQuery(st, vecs)
+	f.vectorScans += scanned
+	return ok
+}
+
+// evalQuery is the pure dominance check one pair task runs: it reads the
+// stream space and the query vectors and touches no filter state, which is
+// what makes the fan-out safe.
+func evalQuery(st *streamState, vecs []npv.Vector) (bool, int64) {
+	var total int64
 	for _, u := range vecs {
 		found, scanned := dominatedByAny(st.space, u)
-		f.vectorScans += int64(scanned)
+		total += int64(scanned)
 		if !found {
-			return false
+			return false, total
 		}
 	}
-	return true
+	return true, total
 }
 
 // Candidates implements core.Filter.
@@ -147,4 +219,5 @@ func (f *NL) CollectMetrics(emit func(name string, value float64)) {
 	emit("nntstream_nl_stream_vectors", float64(svecs))
 	emit("nntstream_filter_nnt_nodes", float64(nodes))
 	emit("nntstream_filter_streams", float64(len(f.streams)))
+	f.pool.collect(emit)
 }

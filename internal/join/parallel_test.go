@@ -1,0 +1,225 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+)
+
+// parallelStrategies returns the batch-capable NPV filters under their
+// constructor, so sequential and parallel twins can be built per strategy.
+func parallelStrategies(depth int) map[string]func() core.Filter {
+	return map[string]func() core.Filter{
+		"NL":      func() core.Filter { return NewNL(depth) },
+		"DSC":     func() core.Filter { return NewDSC(depth) },
+		"Skyline": func() core.Filter { return NewSkyline(depth) },
+	}
+}
+
+// randomBatch builds a valid multi-stream change batch against the current
+// canonical graphs, mutating them in place as the new canonical state.
+func randomBatch(r *rand.Rand, graphs map[core.StreamID]*graph.Graph) map[core.StreamID]graph.ChangeSet {
+	batch := make(map[core.StreamID]graph.ChangeSet)
+	for sid, cur := range graphs {
+		if r.Float64() < 0.25 {
+			continue // leave this stream unchanged at this timestamp
+		}
+		var cs graph.ChangeSet
+		// fresh pins the label of a vertex first seen inside this change
+		// set, so two inserts touching the same new vertex agree.
+		fresh := make(map[graph.VertexID]graph.Label)
+		labelOf := func(v graph.VertexID) graph.Label {
+			if l, ok := cur.VertexLabel(v); ok {
+				return l
+			}
+			if l, ok := fresh[v]; ok {
+				return l
+			}
+			l := graph.Label(r.Intn(3))
+			fresh[v] = l
+			return l
+		}
+		for k := 0; k < 1+r.Intn(4); k++ {
+			u := graph.VertexID(r.Intn(12))
+			v := graph.VertexID(r.Intn(12))
+			if u == v {
+				continue
+			}
+			if cur.HasEdge(u, v) && r.Float64() < 0.5 {
+				cs = append(cs, graph.DeleteOp(u, v))
+			} else if !cur.HasEdge(u, v) {
+				cs = append(cs, graph.InsertOp(u, labelOf(u), v, labelOf(v), graph.Label(r.Intn(2))))
+			}
+		}
+		cs = cs.Normalize()
+		if len(cs) == 0 {
+			continue
+		}
+		next := cur.Clone()
+		if err := cs.Apply(next); err != nil {
+			continue // skip invalid batches; canonical state untouched
+		}
+		graphs[sid] = next
+		batch[sid] = cs
+	}
+	return batch
+}
+
+// TestParallelMatchesSequentialRandomized is the determinism contract of
+// the tentpole: for every strategy, a filter driven through the parallel
+// ApplyAll batch path reports candidate sets identical to a sequential
+// twin fed the same change sets through Apply, at every timestamp of a
+// randomized multi-stream workload. Run under -race (the Makefile's race
+// target covers this package) it also proves the fan-out shares no state.
+func TestParallelMatchesSequentialRandomized(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(400 + seed))
+		depth := 1 + r.Intn(3)
+		template := randomConnected(r, 10, 3, 2)
+		var queries []*graph.Graph
+		for i := 0; i < 4; i++ {
+			queries = append(queries, randomSub(r, template))
+		}
+		var starts []*graph.Graph
+		for i := 0; i < 4; i++ {
+			starts = append(starts, randomConnected(r, 8+r.Intn(4), 3, 2))
+		}
+		starts = append(starts, template.Clone())
+
+		for name, mk := range parallelStrategies(depth) {
+			rr := rand.New(rand.NewSource(7000 + seed))
+			seq := mk()
+			par := mk().(interface {
+				core.Filter
+				core.BatchApplier
+				core.ParallelFilter
+			})
+			par.SetWorkers(8)
+			for _, f := range []core.Filter{seq, par} {
+				for qid, q := range queries {
+					if err := f.AddQuery(core.QueryID(qid), q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for sid, g := range starts {
+					if err := f.AddStream(core.StreamID(sid), g); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			graphs := make(map[core.StreamID]*graph.Graph)
+			for sid, g := range starts {
+				graphs[core.StreamID(sid)] = g.Clone()
+			}
+			for step := 0; step < 25; step++ {
+				batch := randomBatch(rr, graphs)
+				for _, sid := range batchStreamIDs(batch) {
+					if err := seq.Apply(sid, batch[sid]); err != nil {
+						t.Fatalf("seed=%d %s step=%d: sequential apply: %v", seed, name, step, err)
+					}
+				}
+				if err := par.ApplyAll(batch); err != nil {
+					t.Fatalf("seed=%d %s step=%d: parallel apply: %v", seed, name, step, err)
+				}
+				want, got := seq.Candidates(), par.Candidates()
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed=%d %s step=%d: parallel candidates %v != sequential %v",
+						seed, name, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyAllErrors pins the batch path's error behavior: an unknown
+// stream in the batch fails deterministically with the lowest offending
+// StreamID, and an empty batch is a no-op.
+func TestApplyAllErrors(t *testing.T) {
+	for name, mk := range parallelStrategies(2) {
+		t.Run(name, func(t *testing.T) {
+			f := mk().(core.BatchApplier)
+			ff := f.(core.Filter)
+			workload(t, ff)
+			if err := f.ApplyAll(nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+			err := f.ApplyAll(map[core.StreamID]graph.ChangeSet{
+				7: {graph.DeleteOp(0, 1)},
+				5: {graph.DeleteOp(0, 1)},
+			})
+			if err == nil {
+				t.Fatal("unknown streams not rejected")
+			}
+			want := fmt.Sprintf("join: unknown stream %d", 5)
+			if err.Error() != want {
+				t.Fatalf("error = %q; want %q (lowest StreamID first)", err, want)
+			}
+			// The known streams' verdicts survive a failed batch untouched
+			// only when the batch never validated; engines stage changes
+			// first, so all we require here is that valid streams still
+			// answer Candidates.
+			if got := ff.Candidates(); len(got) == 0 {
+				t.Fatal("candidates lost after rejected batch")
+			}
+		})
+	}
+}
+
+// TestSetWorkersBounds pins the pool-sizing contract: n <= 0 resolves to
+// GOMAXPROCS, 1 stays sequential, and the configured bound is what the
+// pool metrics report.
+func TestSetWorkersBounds(t *testing.T) {
+	f := NewDSC(2)
+	read := func() float64 {
+		var got float64
+		f.CollectMetrics(func(name string, v float64) {
+			if name == "nntstream_join_pool_workers" {
+				got = v
+			}
+		})
+		return got
+	}
+	if got := read(); got != 1 {
+		t.Fatalf("default workers = %v; want 1 (sequential)", got)
+	}
+	f.SetWorkers(0)
+	if got := read(); got != float64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("auto workers = %v; want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	f.SetWorkers(6)
+	if got := read(); got != 6 {
+		t.Fatalf("explicit workers = %v; want 6", got)
+	}
+}
+
+// TestPoolDispatchCounted drives a parallel batch and checks the pool
+// telemetry moved — the worker fan-out actually engaged rather than
+// falling back to the inline path.
+func TestPoolDispatchCounted(t *testing.T) {
+	f := NewNL(2)
+	f.SetWorkers(4)
+	workload(t, f)
+	batch := map[core.StreamID]graph.ChangeSet{
+		0: {graph.InsertOp(0, 0, 2, 2, 0)},
+		1: {graph.DeleteOp(2, 0)},
+	}
+	if err := f.ApplyAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	f.CollectMetrics(func(name string, v float64) { metrics[name] = v })
+	if metrics["nntstream_join_pool_parallel_batches_total"] == 0 {
+		t.Fatalf("no parallel batches dispatched: %v", metrics)
+	}
+	if metrics["nntstream_join_pool_parallel_tasks_total"] < 2 {
+		t.Fatalf("parallel tasks = %v; want >= 2", metrics["nntstream_join_pool_parallel_tasks_total"])
+	}
+	if metrics["nntstream_join_pool_max_batch_tasks"] < 2 {
+		t.Fatalf("max batch tasks = %v; want >= 2", metrics["nntstream_join_pool_max_batch_tasks"])
+	}
+}

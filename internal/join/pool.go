@@ -1,0 +1,105 @@
+package join
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// evalPool fans independent evaluation tasks out over a bounded set of
+// goroutines. It is the parallel substrate behind the filters' ApplyAll
+// batch path: every task owns exactly one result slot, so the fan-out is
+// deterministic — the merged output is bit-identical to running the tasks
+// sequentially in slot order, regardless of scheduling (the mapdeterm
+// discipline extended to goroutine joins).
+//
+// The zero value is sequential (one worker). Filters resize it through
+// core.ParallelFilter's SetWorkers.
+type evalPool struct {
+	// workers bounds the goroutines per batch; 0 and 1 both mean
+	// sequential (run inline on the caller's goroutine).
+	workers int
+
+	// Pool telemetry, exported by the owning filter's CollectMetrics.
+	batches   atomic.Int64 // parallel batches dispatched
+	tasks     atomic.Int64 // tasks run across parallel batches
+	waitNanos atomic.Int64 // summed submit→start latency across tasks
+	maxBatch  atomic.Int64 // largest task count handed to one batch
+}
+
+// setWorkers bounds the pool; n <= 0 sizes it to runtime.GOMAXPROCS.
+func (p *evalPool) setWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.workers = n
+}
+
+// size reports the configured bound (minimum 1).
+func (p *evalPool) size() int {
+	if p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// run executes fn(0..n-1). With more than one worker and more than one
+// task, tasks are pulled off a shared atomic cursor by min(workers, n)
+// goroutines; otherwise they run inline. fn must write only to state owned
+// by task i (its result slot and, for per-stream tasks, that stream's
+// state) — run provides the happens-before edge between all tasks and the
+// caller via the WaitGroup join.
+func (p *evalPool) run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.size()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.batches.Add(1)
+	p.tasks.Add(int64(n))
+	for {
+		prev := p.maxBatch.Load()
+		if int64(n) <= prev || p.maxBatch.CompareAndSwap(prev, int64(n)) {
+			break
+		}
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p.waitNanos.Add(time.Since(start).Nanoseconds())
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// collect emits the pool gauges and counters under the shared
+// nntstream_join_pool_ prefix. obs.Gather sums duplicates, so across a
+// sharded engine the workers gauge reads as total evaluation capacity and
+// the counters as fleet-wide totals.
+func (p *evalPool) collect(emit func(name string, value float64)) {
+	emit("nntstream_join_pool_workers", float64(p.size()))
+	emit("nntstream_join_pool_parallel_batches_total", float64(p.batches.Load()))
+	emit("nntstream_join_pool_parallel_tasks_total", float64(p.tasks.Load()))
+	emit("nntstream_join_pool_task_wait_seconds_total", float64(p.waitNanos.Load())/1e9)
+	emit("nntstream_join_pool_max_batch_tasks", float64(p.maxBatch.Load()))
+}

@@ -30,9 +30,11 @@ type Skyline struct {
 	streams map[core.StreamID]*skyStream
 	// probeScans counts stream vectors scanned inside dominated's probe loop
 	// over the run — the work the per-dimension max refutation saves.
-	// Written only on the (serialized) maintenance path, read by
-	// CollectMetrics.
+	// Written only on the (serialized) maintenance path — parallel batches
+	// accumulate per-task counts and merge them after the join — and read
+	// by CollectMetrics.
 	probeScans int64
+	pool       evalPool
 }
 
 type skyStream struct {
@@ -50,7 +52,11 @@ type dimStat struct {
 	max     int32
 }
 
-var _ core.DynamicFilter = (*Skyline)(nil)
+var (
+	_ core.DynamicFilter  = (*Skyline)(nil)
+	_ core.BatchApplier   = (*Skyline)(nil)
+	_ core.ParallelFilter = (*Skyline)(nil)
+)
 
 // NewSkyline returns a skyline-with-early-stop filter with the given NNT
 // depth.
@@ -64,6 +70,9 @@ func NewSkyline(depth int) *Skyline {
 
 // Name implements core.Filter.
 func (f *Skyline) Name() string { return "NPV-Skyline" }
+
+// SetWorkers implements core.ParallelFilter.
+func (f *Skyline) SetWorkers(n int) { f.pool.setWorkers(n) }
 
 // AddQuery implements core.Filter.
 func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
@@ -123,12 +132,74 @@ func (f *Skyline) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	return nil
 }
 
+// ApplyAll implements core.BatchApplier: per-dimension statistics
+// reconcile one task per stream (they mutate that stream's state only),
+// then verdict re-evaluation fans out one task per dirty (stream, query)
+// pair — evaluation only reads the reconciled stats and the query
+// vectors. Slot-ordered merge keeps the verdicts bit-identical to the
+// sequential path.
+func (f *Skyline) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
+	ids := batchStreamIDs(changes)
+	errs := make([]error, len(ids))
+	dirty := make([]bool, len(ids))
+	f.pool.run(len(ids), func(i int) {
+		id := ids[i]
+		ss, ok := f.streams[id]
+		if !ok {
+			errs[i] = fmt.Errorf("join: unknown stream %d", id)
+			return
+		}
+		if err := ss.st.apply(changes[id]); err != nil {
+			errs[i] = err
+			return
+		}
+		dirty[i] = f.reconcile(ss)
+	})
+	if err := firstError(errs); err != nil {
+		return err
+	}
+
+	qids := sortedQueryIDs(f.queries)
+	var tasks []pairTask
+	for i, id := range ids {
+		if !dirty[i] {
+			continue
+		}
+		for _, qid := range qids {
+			tasks = append(tasks, pairTask{sid: id, qid: qid})
+		}
+	}
+	verdicts := make([]bool, len(tasks))
+	scans := make([]int64, len(tasks))
+	f.pool.run(len(tasks), func(i int) {
+		t := tasks[i]
+		verdicts[i], scans[i] = evalMaximal(f.streams[t.sid], f.queries[t.qid])
+	})
+	for i, t := range tasks {
+		f.streams[t.sid].verdict[t.qid] = verdicts[i]
+		f.probeScans += scans[i]
+	}
+	return nil
+}
+
 // refresh reconciles the per-dimension statistics with the dirty vertices
 // and re-evaluates all query verdicts for the stream.
 func (f *Skyline) refresh(ss *skyStream) {
+	if !f.reconcile(ss) {
+		return
+	}
+	for qid, maximal := range f.queries {
+		ss.verdict[qid] = f.evaluate(ss, maximal)
+	}
+}
+
+// reconcile folds the stream's dirty vertices into its per-dimension
+// statistics, reporting whether the verdicts need recomputation. It
+// mutates only ss, so distinct streams reconcile independently.
+func (f *Skyline) reconcile(ss *skyStream) bool {
 	dirty := ss.st.space.TakeDirty()
 	if len(dirty) == 0 && len(ss.verdict) == len(f.queries) {
-		return
+		return false
 	}
 	for _, v := range dirty {
 		// Deregister the old vector.
@@ -170,29 +241,40 @@ func (f *Skyline) refresh(ss *skyStream) {
 			}
 		}
 	}
-	for qid, maximal := range f.queries {
-		ss.verdict[qid] = f.evaluate(ss, maximal)
-	}
+	return true
 }
 
 // evaluate reports joinability: true iff every maximal query vector is
 // dominated by some stream vector.
 func (f *Skyline) evaluate(ss *skyStream, maximal []npv.Vector) bool {
-	for _, u := range maximal {
-		if !f.dominated(ss, u) {
-			// u is a bichromatic skyline point of the query vectors with
-			// respect to the stream vectors: early stop, prune the pair.
-			return false
-		}
-	}
-	return true
+	ok, scanned := evalMaximal(ss, maximal)
+	f.probeScans += scanned
+	return ok
 }
 
-// dominated implements the stream-side probe for one query vector.
-func (f *Skyline) dominated(ss *skyStream, u npv.Vector) bool {
+// evalMaximal is the pure form of evaluate one pair task runs: it reads
+// the reconciled per-dimension statistics and the query's maximal vectors
+// and touches no filter state, which is what makes the fan-out safe.
+func evalMaximal(ss *skyStream, maximal []npv.Vector) (bool, int64) {
+	var total int64
+	for _, u := range maximal {
+		ok, scanned := dominated(ss, u)
+		total += scanned
+		if !ok {
+			// u is a bichromatic skyline point of the query vectors with
+			// respect to the stream vectors: early stop, prune the pair.
+			return false, total
+		}
+	}
+	return true, total
+}
+
+// dominated implements the stream-side probe for one query vector,
+// reporting the number of stream vectors scanned in the probe loop.
+func dominated(ss *skyStream, u npv.Vector) (bool, int64) {
 	if len(u) == 0 {
 		// An empty query vector is dominated by any vertex.
-		return len(ss.prev) > 0
+		return len(ss.prev) > 0, 0
 	}
 	var probe *dimStat
 	for d, val := range u {
@@ -200,7 +282,7 @@ func (f *Skyline) dominated(ss *skyStream, u npv.Vector) bool {
 		if stat == nil || val > stat.max {
 			// No stream vector reaches u in dimension d: u is a skyline
 			// point, refuted in O(|support|).
-			return false
+			return false, 0
 		}
 		if probe == nil || len(stat.members) < len(probe.members) {
 			probe = stat
@@ -208,13 +290,14 @@ func (f *Skyline) dominated(ss *skyStream, u npv.Vector) bool {
 	}
 	// Any dominator of u is nonzero in every support dimension of u, so it
 	// is a member of the probe (minimum-cardinality) dimension.
+	var scanned int64
 	for v := range probe.members {
-		f.probeScans++
+		scanned++
 		if ss.prev[v].Dominates(u) {
-			return true
+			return true, scanned
 		}
 	}
-	return false
+	return false, scanned
 }
 
 var _ obs.Collector = (*Skyline)(nil)
@@ -239,6 +322,7 @@ func (f *Skyline) CollectMetrics(emit func(name string, value float64)) {
 	emit("nntstream_skyline_stream_vectors", float64(vecs))
 	emit("nntstream_filter_nnt_nodes", float64(nodes))
 	emit("nntstream_filter_streams", float64(len(f.streams)))
+	f.pool.collect(emit)
 }
 
 // Candidates implements core.Filter.

@@ -36,10 +36,10 @@ func TestSkylineDominatedEmptyQueryVector(t *testing.T) {
 
 	// Direct unit check of the probe.
 	ss := f.streams[0]
-	if f.dominated(ss, npv.Vector{}) {
+	if ok, _ := dominated(ss, npv.Vector{}); ok {
 		t.Fatal("empty stream should not dominate the empty vector")
 	}
-	if !f.dominated(f.streams[1], npv.Vector{}) {
+	if ok, _ := dominated(f.streams[1], npv.Vector{}); !ok {
 		t.Fatal("non-empty stream should dominate the empty vector")
 	}
 }
@@ -101,7 +101,7 @@ func TestSkylineRetiredVertex(t *testing.T) {
 	// The query vector is now refuted via the per-dimension max fast path:
 	// its dimensions have no members at all.
 	u := f.queries[0][0]
-	if f.dominated(ss, u) {
+	if ok, _ := dominated(ss, u); ok {
 		t.Fatal("retired vertices must not dominate the query vector")
 	}
 

@@ -96,6 +96,13 @@ func (s *Space) Vectors(fn func(v graph.VertexID, vec Vector) bool) {
 	}
 }
 
+// HasDirty reports whether any vector changed (or was added or removed)
+// since the last TakeDirty, without consuming the dirty set. Batch join
+// evaluation uses it to enumerate the streams whose (stream, query) pairs
+// need re-evaluation before fanning work out to a pool, and the filters'
+// no-op fast path uses it to skip evaluation without allocating.
+func (s *Space) HasDirty() bool { return len(s.dirty) > 0 }
+
 // TakeDirty returns the vertices whose vectors changed (or were added or
 // removed) since the previous call, and resets the dirty set. Join
 // strategies use this to touch only changed vertices per timestamp.
