@@ -73,6 +73,8 @@ func benchRegistry() []benchEntry {
 		{"Parallel_Skyline_W4", BenchmarkParallel_Skyline_W4},
 		{"Ablation_Branch", BenchmarkAblation_Branch},
 		{"Ablation_Exact", BenchmarkAblation_Exact},
+		{"NPV_Dominates_Map", Benchmark_NPV_Dominates_Map},
+		{"NPV_Dominates_Packed", Benchmark_NPV_Dominates_Packed},
 		{"NNTMaintenance", BenchmarkNNTMaintenance},
 		{"VF2HardInstance", BenchmarkVF2HardInstance},
 	}

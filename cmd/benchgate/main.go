@@ -1,13 +1,18 @@
 // Command benchgate diffs two benchmark trajectory files produced by the
 // root test binary's -benchjson mode and fails (exit 1) when any benchmark
-// regressed past the threshold:
+// regressed past its threshold:
 //
-//	benchgate -baseline BENCH_main.json -candidate BENCH_pr.json [-threshold 0.20] [-warn-only]
+//	benchgate -baseline BENCH_main.json -candidate BENCH_pr.json \
+//	    [-threshold 0.20] [-threshold-for Bench=0.50 ...] [-warn-only]
 //
-// A regression is candidate ns/op > baseline ns/op * (1 + threshold).
-// Benchmarks present on only one side are reported but never fail the gate
-// (benches come and go across PRs); environment mismatches (GOMAXPROCS, Go
-// version) are surfaced so noisy comparisons can be discounted. -warn-only
+// A regression is candidate ns/op > baseline ns/op * (1 + threshold). The
+// global -threshold applies everywhere except benchmarks named by a
+// repeatable -threshold-for name=fraction override — microbenchmarks whose
+// short CI -benchtime runs are noisier than the end-to-end trajectories get
+// a looser gate without loosening the gate for everything else. Benchmarks
+// present on only one side are reported but never fail the gate (benches
+// come and go across PRs); environment mismatches (GOMAXPROCS, Go version)
+// are surfaced so noisy comparisons can be discounted. -warn-only
 // downgrades regressions to warnings — CI uses it while the committed
 // baseline is young and short -benchtime runs are noisy.
 package main
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"nntstream/internal/benchfmt"
 )
@@ -39,11 +46,62 @@ type delta struct {
 	ratio    float64 // cand / baseline when both sides exist
 }
 
-// compare diffs candidate against baseline. threshold is the fractional
-// slowdown tolerated before a benchmark counts as regressed (0.20 = +20%);
-// the same fraction in the other direction is reported as an improvement.
-// Deltas come back sorted by name.
-func compare(baseline, candidate *benchfmt.Report, threshold float64) []delta {
+// thresholds resolves the tolerated slowdown fraction per benchmark: a
+// global default plus named overrides from repeated -threshold-for flags.
+type thresholds struct {
+	global   float64
+	perBench map[string]float64
+}
+
+func (t thresholds) forBench(name string) float64 {
+	if f, ok := t.perBench[name]; ok {
+		return f
+	}
+	return t.global
+}
+
+// overrideFlag parses repeated "-threshold-for name=fraction" occurrences
+// into the perBench map, satisfying flag.Value.
+type overrideFlag struct {
+	m map[string]float64
+}
+
+func (o *overrideFlag) String() string {
+	if o == nil || len(o.m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(o.m))
+	for name, f := range o.m {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, f))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (o *overrideFlag) Set(s string) error {
+	name, frac, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=fraction, got %q", s)
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil {
+		return fmt.Errorf("bad fraction in %q: %v", s, err)
+	}
+	if f < 0 {
+		return fmt.Errorf("negative threshold in %q", s)
+	}
+	if o.m == nil {
+		o.m = make(map[string]float64)
+	}
+	o.m[name] = f
+	return nil
+}
+
+// compare diffs candidate against baseline. th gives the fractional
+// slowdown tolerated before a benchmark counts as regressed (0.20 = +20%),
+// resolved per benchmark name; the same fraction in the other direction is
+// reported as an improvement. Deltas come back sorted by name.
+func compare(baseline, candidate *benchfmt.Report, th thresholds) []delta {
 	var out []delta
 	for _, b := range baseline.Results {
 		c, ok := candidate.Lookup(b.Name)
@@ -52,6 +110,7 @@ func compare(baseline, candidate *benchfmt.Report, threshold float64) []delta {
 			continue
 		}
 		d := delta{name: b.Name, baseline: b.NsPerOp, cand: c.NsPerOp, ratio: c.NsPerOp / b.NsPerOp}
+		threshold := th.forBench(b.Name)
 		switch {
 		case d.ratio > 1+threshold:
 			d.kind = deltaRegressed
@@ -92,7 +151,7 @@ func loadReport(path string) (*benchfmt.Report, error) {
 	return benchfmt.Decode(f)
 }
 
-func run(baselinePath, candidatePath string, threshold float64, warnOnly bool, w *os.File) int {
+func run(baselinePath, candidatePath string, th thresholds, warnOnly bool, w *os.File) int {
 	base, err := loadReport(baselinePath)
 	if err != nil {
 		fmt.Fprintf(w, "benchgate: baseline: %v\n", err)
@@ -108,7 +167,7 @@ func run(baselinePath, candidatePath string, threshold float64, warnOnly bool, w
 			base.GoVersion, base.GoMaxProcs, cand.GoVersion, cand.GoMaxProcs)
 	}
 	regressions := 0
-	for _, d := range compare(base, cand, threshold) {
+	for _, d := range compare(base, cand, th) {
 		fmt.Fprintln(w, d)
 		if d.kind == deltaRegressed {
 			regressions++
@@ -116,10 +175,10 @@ func run(baselinePath, candidatePath string, threshold float64, warnOnly bool, w
 	}
 	if regressions > 0 {
 		if warnOnly {
-			fmt.Fprintf(w, "benchgate: %d regression(s) past %.0f%% (warn-only; not failing)\n", regressions, threshold*100)
+			fmt.Fprintf(w, "benchgate: %d regression(s) past threshold (warn-only; not failing)\n", regressions)
 			return 0
 		}
-		fmt.Fprintf(w, "benchgate: %d regression(s) past %.0f%%\n", regressions, threshold*100)
+		fmt.Fprintf(w, "benchgate: %d regression(s) past threshold\n", regressions)
 		return 1
 	}
 	fmt.Fprintln(w, "benchgate: no regressions")
@@ -130,11 +189,14 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline trajectory JSON (required)")
 	candidate := flag.String("candidate", "", "candidate trajectory JSON (required)")
 	threshold := flag.Float64("threshold", 0.20, "fractional ns/op slowdown tolerated before failing")
+	var overrides overrideFlag
+	flag.Var(&overrides, "threshold-for", "per-benchmark threshold override as name=fraction (repeatable)")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" || *threshold < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(*baseline, *candidate, *threshold, *warnOnly, os.Stdout))
+	th := thresholds{global: *threshold, perBench: overrides.m}
+	os.Exit(run(*baseline, *candidate, th, *warnOnly, os.Stdout))
 }

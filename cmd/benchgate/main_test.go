@@ -24,6 +24,8 @@ func kinds(ds []delta) map[string]deltaKind {
 	return out
 }
 
+func global(f float64) thresholds { return thresholds{global: f} }
+
 func TestCompareClassifies(t *testing.T) {
 	base := report(map[string]float64{
 		"Steady":   1000,
@@ -39,7 +41,7 @@ func TestCompareClassifies(t *testing.T) {
 		"Boundary": 1200, // exactly +20%: not past the threshold
 		"Added":    42,
 	})
-	got := kinds(compare(base, cand, 0.20))
+	got := kinds(compare(base, cand, global(0.20)))
 	want := map[string]deltaKind{
 		"Steady":   deltaOK,
 		"Faster":   deltaImproved,
@@ -58,9 +60,56 @@ func TestCompareClassifies(t *testing.T) {
 	}
 }
 
+// TestComparePerBenchOverride checks that a -threshold-for override loosens
+// (or tightens) the gate for the named benchmark only.
+func TestComparePerBenchOverride(t *testing.T) {
+	base := report(map[string]float64{"Noisy": 1000, "Tight": 1000})
+	cand := report(map[string]float64{"Noisy": 1400, "Tight": 1400}) // both +40%
+
+	got := kinds(compare(base, cand, thresholds{
+		global:   0.20,
+		perBench: map[string]float64{"Noisy": 0.50},
+	}))
+	if got["Noisy"] != deltaOK {
+		t.Errorf("Noisy classified %v; want OK under its 50%% override", got["Noisy"])
+	}
+	if got["Tight"] != deltaRegressed {
+		t.Errorf("Tight classified %v; want regressed under the 20%% global", got["Tight"])
+	}
+
+	// An override can also tighten below the global.
+	got = kinds(compare(base, cand, thresholds{
+		global:   1.0,
+		perBench: map[string]float64{"Tight": 0.10},
+	}))
+	if got["Noisy"] != deltaOK || got["Tight"] != deltaRegressed {
+		t.Errorf("tightening override: got %v", got)
+	}
+}
+
+func TestOverrideFlagParsing(t *testing.T) {
+	var o overrideFlag
+	for _, s := range []string{"NPV_Dominates_Packed=0.50", "Fig12_NL=0.3"} {
+		if err := o.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if o.m["NPV_Dominates_Packed"] != 0.50 || o.m["Fig12_NL"] != 0.3 {
+		t.Fatalf("parsed overrides = %v", o.m)
+	}
+	for _, bad := range []string{"NoEquals", "=0.5", "X=notafloat", "X=-0.1"} {
+		if err := o.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted; want error", bad)
+		}
+	}
+	if s := o.String(); s != "Fig12_NL=0.3,NPV_Dominates_Packed=0.5" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
 func TestCompareSortedByName(t *testing.T) {
 	base := report(map[string]float64{"b": 1, "a": 1, "c": 1})
-	ds := compare(base, report(map[string]float64{"c": 1, "d": 1}), 0.2)
+	ds := compare(base, report(map[string]float64{"c": 1, "d": 1}), global(0.2))
 	for i := 1; i < len(ds); i++ {
 		if ds[i-1].name >= ds[i].name {
 			t.Fatalf("deltas not sorted: %v then %v", ds[i-1].name, ds[i].name)
@@ -96,19 +145,23 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	defer devnull.Close()
 
-	if code := run(base, good, 0.20, false, devnull); code != 0 {
+	if code := run(base, good, global(0.20), false, devnull); code != 0 {
 		t.Fatalf("within threshold: exit %d; want 0", code)
 	}
-	if code := run(base, bad, 0.20, false, devnull); code != 1 {
+	if code := run(base, bad, global(0.20), false, devnull); code != 1 {
 		t.Fatalf("regression: exit %d; want 1", code)
 	}
-	if code := run(base, bad, 0.20, true, devnull); code != 0 {
+	if code := run(base, bad, global(0.20), true, devnull); code != 0 {
 		t.Fatalf("warn-only regression: exit %d; want 0", code)
 	}
-	if code := run(filepath.Join(dir, "absent.json"), good, 0.20, false, devnull); code != 2 {
+	if code := run(filepath.Join(dir, "absent.json"), good, global(0.20), false, devnull); code != 2 {
 		t.Fatalf("missing baseline: exit %d; want 2", code)
 	}
-	if code := run(base, bad, 1.5, false, devnull); code != 0 {
+	if code := run(base, bad, global(1.5), false, devnull); code != 0 {
 		t.Fatalf("loose threshold: exit %d; want 0", code)
+	}
+	over := thresholds{global: 0.20, perBench: map[string]float64{"X": 1.5}}
+	if code := run(base, bad, over, false, devnull); code != 0 {
+		t.Fatalf("per-bench override: exit %d; want 0", code)
 	}
 }

@@ -79,7 +79,7 @@ func (f *Branch) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	bs := &branchStream{
-		st:      newStreamState(g0, f.depth),
+		st:      newStreamState(g0, f.depth, false),
 		tries:   make(map[graph.VertexID]*nnt.Trie),
 		verdict: make(map[core.QueryID]bool, len(f.queries)),
 	}

@@ -41,8 +41,16 @@ type streamState struct {
 	space  *npv.Space
 }
 
-func newStreamState(g0 *graph.Graph, depth int) *streamState {
+// newStreamState builds the stream's feature structures. packed enables the
+// space's PackedVector cache: filters whose evaluation runs on the packed
+// dominance kernel (NL, Skyline) pass true so every timestamp's TakeDirty
+// seals the dirty vertices into packed form; counter-based DSC and the
+// NNT-only Branch filter pass false and skip the sealing cost entirely.
+func newStreamState(g0 *graph.Graph, depth int, packed bool) *streamState {
 	space := npv.NewSpace()
+	if packed {
+		space.EnablePacking()
+	}
 	return &streamState{
 		forest: nnt.NewForest(g0, depth, space),
 		space:  space,
@@ -70,6 +78,13 @@ func projectQuery(q *graph.Graph, depth int) map[graph.VertexID]npv.Vector {
 	return npv.ProjectGraph(q, depth)
 }
 
+// packQuery projects a query and freezes its vectors into packed form in
+// ascending vertex order — queries are static, so this runs once at
+// registration and evaluation never touches a map vector again.
+func packQuery(q *graph.Graph, depth int) []npv.PackedVector {
+	return npv.PackAll(npv.VectorsByVertex(projectQuery(q, depth)))
+}
+
 // batchStreamIDs extracts a change batch's stream IDs in ascending order.
 // The fan-out indexes tasks by position in this slice, so a fixed order is
 // what makes the parallel merge — and the error reported for an invalid
@@ -85,7 +100,7 @@ func batchStreamIDs(changes map[core.StreamID]graph.ChangeSet) []core.StreamID {
 
 // sortedQueryIDs extracts registered query IDs in ascending order — the
 // pair-task enumeration order of the batch path.
-func sortedQueryIDs(m map[core.QueryID][]npv.Vector) []core.QueryID {
+func sortedQueryIDs[T any](m map[core.QueryID]T) []core.QueryID {
 	qids := make([]core.QueryID, 0, len(m))
 	for qid := range m {
 		qids = append(qids, qid)
@@ -114,11 +129,12 @@ func firstError(errs []error) error {
 
 // dominatedByAny reports whether any vector in the space dominates u, along
 // with the number of vectors scanned before deciding (the nested-loop work
-// measure NL exports).
-func dominatedByAny(space *npv.Space, u npv.Vector) (found bool, scanned int) {
-	space.Vectors(func(_ graph.VertexID, vec npv.Vector) bool {
+// measure NL exports). The scan runs entirely on the packed kernel: sealed
+// stream vectors against a query vector frozen at registration.
+func dominatedByAny(space *npv.Space, u npv.PackedVector) (found bool, scanned int) {
+	space.PackedVectors(func(_ graph.VertexID, p npv.PackedVector) bool {
 		scanned++
-		if vec.Dominates(u) {
+		if p.Dominates(u) {
 			found = true
 			return false
 		}

@@ -32,9 +32,11 @@ type DSC struct {
 	// nnz is the nonzero-dimension count per query vertex; query vertices
 	// with empty vectors (no edges) are trivially dominated and excluded.
 	nnz map[qKey]int
-	// qvecs keeps each query vertex's vector so dynamic removal can undo
-	// its column entries and position-counter contributions.
-	qvecs map[qKey]npv.Vector
+	// qvecs keeps each query vertex's vector, frozen into packed form at
+	// registration, so dynamic removal can undo its column entries and
+	// position-counter contributions. The stream side stays on the
+	// incremental counter structure — DSC never scans whole vectors.
+	qvecs map[qKey]npv.PackedVector
 	// qsize counts the query vertices that must be covered per query.
 	qsize   map[core.QueryID]int
 	streams map[core.StreamID]*dscStream
@@ -80,7 +82,7 @@ func NewDSC(depth int) *DSC {
 		depth:   depth,
 		cols:    make(map[npv.Dim]*dscColumn),
 		nnz:     make(map[qKey]int),
-		qvecs:   make(map[qKey]npv.Vector),
+		qvecs:   make(map[qKey]npv.PackedVector),
 		qsize:   make(map[core.QueryID]int),
 		streams: make(map[core.StreamID]*dscStream),
 	}
@@ -101,22 +103,32 @@ func (f *DSC) AddQuery(id core.QueryID, q *graph.Graph) error {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
 	size := 0
-	for v, vec := range projectQuery(q, f.depth) {
-		if len(vec) == 0 {
+	proj := projectQuery(q, f.depth)
+	ids := make([]graph.VertexID, 0, len(proj))
+	for v := range proj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		vec := npv.Pack(proj[v])
+		if vec.Len() == 0 {
 			continue // trivially dominated (isolated query vertex)
 		}
 		k := qKey{Q: id, V: v}
-		f.nnz[k] = len(vec)
+		f.nnz[k] = vec.Len()
 		f.qvecs[k] = vec
 		size++
-		for d, c := range vec {
+		for i := 0; i < vec.Len(); i++ {
+			d, c := vec.Dim(i), vec.Count(i)
 			col, ok := f.cols[d]
 			if !ok {
 				col = &dscColumn{}
 				f.cols[d] = col
 			}
 			if !f.sealed {
-				//lint:ignore mapdeterm build-phase columns are batch-sorted once at seal(), before any read
+				// Build-phase columns are batch-sorted once at seal(), before
+				// any read; packed iteration makes the append order
+				// deterministic too (ascending vertex, then Dim).
 				col.entries = append(col.entries, dscEntry{key: k, value: c})
 				continue
 			}
@@ -139,10 +151,11 @@ func (f *DSC) AddQuery(id core.QueryID, q *graph.Graph) error {
 // attachQueryVertex registers a live-added query vertex with one stream:
 // every stream vertex's position counters gain the new column entries they
 // are ≥ of, and its dominant counter for the new key is derived directly.
-func (f *DSC) attachQueryVertex(ds *dscStream, k qKey, vec npv.Vector) {
+func (f *DSC) attachQueryVertex(ds *dscStream, k qKey, vec npv.PackedVector) {
 	ds.st.space.Vectors(func(v graph.VertexID, vvec npv.Vector) bool {
 		cnt := 0
-		for d, c := range vec {
+		for i := 0; i < vec.Len(); i++ {
+			d, c := vec.Dim(i), vec.Count(i)
 			if vvec.Get(d) >= c {
 				cnt++
 				pos := ds.pos[v]
@@ -182,7 +195,8 @@ func (f *DSC) RemoveQuery(id core.QueryID) error {
 		if k.Q != id {
 			continue
 		}
-		for d, c := range vec {
+		for qi := 0; qi < vec.Len(); qi++ {
+			d, c := vec.Dim(qi), vec.Count(qi)
 			col := f.cols[d]
 			for i := range col.entries {
 				if col.entries[i].key == k {
@@ -253,7 +267,7 @@ func (f *DSC) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	ds := &dscStream{
-		st:      newStreamState(g0, f.depth),
+		st:      newStreamState(g0, f.depth, false),
 		pos:     make(map[graph.VertexID]map[npv.Dim]int),
 		dom:     make(map[graph.VertexID]map[qKey]int),
 		cover:   make(map[qKey]int),

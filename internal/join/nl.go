@@ -15,7 +15,7 @@ import (
 // the two optimized strategies are measured against.
 type NL struct {
 	depth   int
-	queries map[core.QueryID][]npv.Vector
+	queries map[core.QueryID][]npv.PackedVector
 	streams map[core.StreamID]*streamState
 	verdict map[core.StreamID]map[core.QueryID]bool
 	// vectorScans counts stream vectors scanned during dominance checks over
@@ -36,7 +36,7 @@ var (
 func NewNL(depth int) *NL {
 	return &NL{
 		depth:   depth,
-		queries: make(map[core.QueryID][]npv.Vector),
+		queries: make(map[core.QueryID][]npv.PackedVector),
 		streams: make(map[core.StreamID]*streamState),
 		verdict: make(map[core.StreamID]map[core.QueryID]bool),
 	}
@@ -55,7 +55,7 @@ func (f *NL) AddQuery(id core.QueryID, q *graph.Graph) error {
 	if _, ok := f.queries[id]; ok {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
-	vecs := npv.VectorsByVertex(projectQuery(q, f.depth))
+	vecs := packQuery(q, f.depth)
 	f.queries[id] = vecs
 	for sid, st := range f.streams {
 		f.verdict[sid][id] = f.evaluateOne(st, vecs)
@@ -80,7 +80,7 @@ func (f *NL) AddStream(id core.StreamID, g0 *graph.Graph) error {
 	if _, ok := f.streams[id]; ok {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
-	st := newStreamState(g0, f.depth)
+	st := newStreamState(g0, f.depth, true)
 	st.space.TakeDirty()
 	f.streams[id] = st
 	f.verdict[id] = make(map[core.QueryID]bool, len(f.queries))
@@ -165,7 +165,7 @@ func (f *NL) evaluate(id core.StreamID) {
 	}
 }
 
-func (f *NL) evaluateOne(st *streamState, vecs []npv.Vector) bool {
+func (f *NL) evaluateOne(st *streamState, vecs []npv.PackedVector) bool {
 	ok, scanned := evalQuery(st, vecs)
 	f.vectorScans += scanned
 	return ok
@@ -174,7 +174,7 @@ func (f *NL) evaluateOne(st *streamState, vecs []npv.Vector) bool {
 // evalQuery is the pure dominance check one pair task runs: it reads the
 // stream space and the query vectors and touches no filter state, which is
 // what makes the fan-out safe.
-func evalQuery(st *streamState, vecs []npv.Vector) (bool, int64) {
+func evalQuery(st *streamState, vecs []npv.PackedVector) (bool, int64) {
 	var total int64
 	for _, u := range vecs {
 		found, scanned := dominatedByAny(st.space, u)

@@ -26,7 +26,7 @@ import (
 //     dimension are scanned, since any dominator must appear there.
 type Skyline struct {
 	depth   int
-	queries map[core.QueryID][]npv.Vector // maximal vectors, probe order
+	queries map[core.QueryID][]npv.PackedVector // maximal vectors, probe order
 	streams map[core.StreamID]*skyStream
 	// probeScans counts stream vectors scanned inside dominated's probe loop
 	// over the run — the work the per-dimension max refutation saves.
@@ -63,7 +63,7 @@ var (
 func NewSkyline(depth int) *Skyline {
 	return &Skyline{
 		depth:   depth,
-		queries: make(map[core.QueryID][]npv.Vector),
+		queries: make(map[core.QueryID][]npv.PackedVector),
 		streams: make(map[core.StreamID]*skyStream),
 	}
 }
@@ -79,8 +79,7 @@ func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
 	if _, ok := f.queries[id]; ok {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
-	vecs := npv.VectorsByVertex(projectQuery(q, f.depth))
-	maximal := skyline.Maximal(vecs)
+	maximal := skyline.MaximalPacked(packQuery(q, f.depth))
 	// Probe heaviest first: those are the least likely to be dominated, so
 	// a non-joinable pair is refuted early.
 	sort.Slice(maximal, func(i, j int) bool { return maximal[i].L1() > maximal[j].L1() })
@@ -109,7 +108,7 @@ func (f *Skyline) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	ss := &skyStream{
-		st:      newStreamState(g0, f.depth),
+		st:      newStreamState(g0, f.depth, true),
 		prev:    make(map[graph.VertexID]npv.Vector),
 		dims:    make(map[npv.Dim]*dimStat),
 		verdict: make(map[core.QueryID]bool, len(f.queries)),
@@ -246,7 +245,7 @@ func (f *Skyline) reconcile(ss *skyStream) bool {
 
 // evaluate reports joinability: true iff every maximal query vector is
 // dominated by some stream vector.
-func (f *Skyline) evaluate(ss *skyStream, maximal []npv.Vector) bool {
+func (f *Skyline) evaluate(ss *skyStream, maximal []npv.PackedVector) bool {
 	ok, scanned := evalMaximal(ss, maximal)
 	f.probeScans += scanned
 	return ok
@@ -255,7 +254,7 @@ func (f *Skyline) evaluate(ss *skyStream, maximal []npv.Vector) bool {
 // evalMaximal is the pure form of evaluate one pair task runs: it reads
 // the reconciled per-dimension statistics and the query's maximal vectors
 // and touches no filter state, which is what makes the fan-out safe.
-func evalMaximal(ss *skyStream, maximal []npv.Vector) (bool, int64) {
+func evalMaximal(ss *skyStream, maximal []npv.PackedVector) (bool, int64) {
 	var total int64
 	for _, u := range maximal {
 		ok, scanned := dominated(ss, u)
@@ -270,16 +269,20 @@ func evalMaximal(ss *skyStream, maximal []npv.Vector) (bool, int64) {
 }
 
 // dominated implements the stream-side probe for one query vector,
-// reporting the number of stream vectors scanned in the probe loop.
-func dominated(ss *skyStream, u npv.Vector) (bool, int64) {
-	if len(u) == 0 {
+// reporting the number of stream vectors scanned in the probe loop. The
+// query vector arrives packed (frozen at registration) and the probe reads
+// the space's sealed packed vectors, so the exact checks run on the
+// sorted-merge kernel; the per-dimension max refutation walks u's packed
+// support in ascending Dim order.
+func dominated(ss *skyStream, u npv.PackedVector) (bool, int64) {
+	if u.Len() == 0 {
 		// An empty query vector is dominated by any vertex.
 		return len(ss.prev) > 0, 0
 	}
 	var probe *dimStat
-	for d, val := range u {
-		stat := ss.dims[d]
-		if stat == nil || val > stat.max {
+	for i := 0; i < u.Len(); i++ {
+		stat := ss.dims[u.Dim(i)]
+		if stat == nil || u.Count(i) > stat.max {
 			// No stream vector reaches u in dimension d: u is a skyline
 			// point, refuted in O(|support|).
 			return false, 0
@@ -289,11 +292,13 @@ func dominated(ss *skyStream, u npv.Vector) (bool, int64) {
 		}
 	}
 	// Any dominator of u is nonzero in every support dimension of u, so it
-	// is a member of the probe (minimum-cardinality) dimension.
+	// is a member of the probe (minimum-cardinality) dimension. Members are
+	// exactly the vertices registered in ss.prev, whose space vectors were
+	// sealed by the same reconcile step — Packed never misses here.
 	var scanned int64
 	for v := range probe.members {
 		scanned++
-		if ss.prev[v].Dominates(u) {
+		if p, ok := ss.st.space.Packed(v); ok && p.Dominates(u) {
 			return true, scanned
 		}
 	}

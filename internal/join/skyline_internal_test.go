@@ -36,10 +36,10 @@ func TestSkylineDominatedEmptyQueryVector(t *testing.T) {
 
 	// Direct unit check of the probe.
 	ss := f.streams[0]
-	if ok, _ := dominated(ss, npv.Vector{}); ok {
+	if ok, _ := dominated(ss, npv.Pack(npv.Vector{})); ok {
 		t.Fatal("empty stream should not dominate the empty vector")
 	}
-	if ok, _ := dominated(f.streams[1], npv.Vector{}); !ok {
+	if ok, _ := dominated(f.streams[1], npv.Pack(npv.Vector{})); !ok {
 		t.Fatal("non-empty stream should dominate the empty vector")
 	}
 }

@@ -1,0 +1,181 @@
+package npv
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// PackedVector is the frozen, evaluation-time form of a Vector: the support
+// in ascending Dim order in one slice, the matching counts in a parallel
+// slice, and a 64-bit support signature (one bit per hashed dimension).
+//
+// The map-backed Vector is the right shape for incremental maintenance —
+// tree edge events adjust one dimension at a time — but the dominance test
+// of Lemma 4.2 only ever *reads* whole vectors, and on the filter hot path
+// it does so for every (stream, query) pair each timestamp. Packed form
+// turns that read into a branch-predictable linear merge over two sorted
+// slices with zero map lookups and zero allocations, preceded by two O(1)
+// rejects:
+//
+//  1. the support-size check (v cannot dominate u with a smaller support),
+//  2. the signature subset test: every dimension of u sets one hashed bit
+//     in u's signature, so support(u) ⊆ support(v) implies
+//     sig(u) &^ sig(v) == 0 — a nonzero result proves some dimension of u
+//     is missing from v, hence v cannot dominate u. The signature can only
+//     produce false accepts (hash collisions), never false rejects, so the
+//     filter is sound: it never fires when dominance holds.
+//
+// Dominance over packed vectors is bit-identical to Vector.Dominates — a
+// pure representation change, pinned by the property and fuzz tests.
+//
+// The zero value is the packed empty vector. PackedVector values share
+// their backing slices when copied; they are immutable by convention —
+// nothing in this package mutates a PackedVector after Pack returns.
+type PackedVector struct {
+	dims   []Dim
+	counts []int32
+	sig    uint64
+}
+
+// Kernel telemetry: total dominance tests answered by the packed kernel and
+// how many were settled by the signature subset reject alone. The counters
+// are process-global atomics (the kernel runs concurrently inside the join
+// pool's fan-out); KernelStats exposes them as an obs.Collector so the
+// signature filter's selectivity is observable via /v1/metrics.
+var (
+	dominanceTests atomic.Int64
+	sigRejects     atomic.Int64
+)
+
+// KernelStats is an obs.Collector (satisfied structurally; npv does not
+// import obs) reporting the packed kernel's process-global counters.
+type KernelStats struct{}
+
+// CollectMetrics emits the dominance-test and signature-reject totals.
+func (KernelStats) CollectMetrics(emit func(name string, value float64)) {
+	emit("nntstream_npv_dominance_tests_total", float64(dominanceTests.Load()))
+	emit("nntstream_npv_sig_rejects_total", float64(sigRejects.Load()))
+}
+
+// KernelCounters returns the raw totals behind KernelStats, for tests.
+func KernelCounters() (tests, sigRejected int64) {
+	return dominanceTests.Load(), sigRejects.Load()
+}
+
+// sigBit maps a dimension to one of 64 signature bits. Fibonacci hashing
+// spreads the packed level│from│edge│to encoding (whose entropy sits in
+// scattered bit groups) across the top bits.
+func sigBit(d Dim) uint64 {
+	return 1 << (uint64(d) * 0x9E3779B97F4A7C15 >> 58)
+}
+
+// Pack freezes v into packed form. The result does not alias v.
+func Pack(v Vector) PackedVector {
+	if len(v) == 0 {
+		return PackedVector{}
+	}
+	dims := v.Support()
+	counts := make([]int32, len(dims))
+	var sig uint64
+	for i, d := range dims {
+		counts[i] = v[d]
+		sig |= sigBit(d)
+	}
+	return PackedVector{dims: dims, counts: counts, sig: sig}
+}
+
+// PackAll packs every vector of a slice, preserving order.
+func PackAll(vecs []Vector) []PackedVector {
+	out := make([]PackedVector, len(vecs))
+	for i, v := range vecs {
+		out[i] = Pack(v)
+	}
+	return out
+}
+
+// Len reports the support size (number of nonzero dimensions).
+func (p PackedVector) Len() int { return len(p.dims) }
+
+// Dim returns the i-th support dimension (ascending order).
+func (p PackedVector) Dim(i int) Dim { return p.dims[i] }
+
+// Count returns the count of the i-th support dimension.
+func (p PackedVector) Count(i int) int32 { return p.counts[i] }
+
+// Sig returns the 64-bit support signature.
+func (p PackedVector) Sig() uint64 { return p.sig }
+
+// Get returns the count for d (zero when absent) by binary search.
+func (p PackedVector) Get(d Dim) int32 {
+	if p.sig&sigBit(d) == 0 {
+		return 0
+	}
+	i := sort.Search(len(p.dims), func(i int) bool { return p.dims[i] >= d })
+	if i < len(p.dims) && p.dims[i] == d {
+		return p.counts[i]
+	}
+	return 0
+}
+
+// L1 returns the sum of all counts (see Vector.L1).
+func (p PackedVector) L1() int64 {
+	var s int64
+	for _, c := range p.counts {
+		s += int64(c)
+	}
+	return s
+}
+
+// Unpack reconstructs the map form. Pack(p.Unpack()) round-trips exactly.
+func (p PackedVector) Unpack() Vector {
+	out := make(Vector, len(p.dims))
+	for i, d := range p.dims {
+		out[d] = p.counts[i]
+	}
+	return out
+}
+
+// Equal reports entry-wise equality.
+func (p PackedVector) Equal(q PackedVector) bool {
+	if len(p.dims) != len(q.dims) || p.sig != q.sig {
+		return false
+	}
+	for i, d := range p.dims {
+		if q.dims[i] != d || q.counts[i] != p.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the packed vector like its map form.
+func (p PackedVector) String() string { return p.Unpack().String() }
+
+// Dominates reports whether p dominates u in the sense of Lemma 4.2,
+// exactly as Vector.Dominates does: on every dimension of u's support, p's
+// count is at least u's. The fast rejects run first; the merge walks both
+// sorted supports in lockstep and never allocates.
+func (p PackedVector) Dominates(u PackedVector) bool {
+	dominanceTests.Add(1)
+	if len(u.dims) == 0 {
+		return true
+	}
+	if len(p.dims) < len(u.dims) {
+		return false
+	}
+	if u.sig&^p.sig != 0 {
+		sigRejects.Add(1)
+		return false
+	}
+	i := 0
+	for j, d := range u.dims {
+		for i < len(p.dims) && p.dims[i] < d {
+			i++
+		}
+		if i == len(p.dims) || p.dims[i] != d || p.counts[i] < u.counts[j] {
+			return false
+		}
+		i++
+	}
+	return true
+}

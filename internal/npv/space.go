@@ -22,6 +22,16 @@ type Space struct {
 	lastRoot  graph.VertexID
 	lastVec   Vector
 	lastValid bool
+	// packed caches the frozen PackedVector of each vertex, nil until
+	// EnablePacking. Entries are sealed per dirty vertex at each TakeDirty
+	// — the timestamp boundary is the cache's invalidation epoch — so the
+	// steady-state evaluation path reads packed vectors without ever
+	// touching (or mutating) the incremental maps. Readers may therefore
+	// run concurrently: between two TakeDirty calls the cache is immutable.
+	packed map[graph.VertexID]PackedVector
+	// epoch counts TakeDirty calls (seal generations), for observability
+	// and tests.
+	epoch uint64
 }
 
 var _ nnt.Observer = (*Space)(nil)
@@ -77,6 +87,64 @@ func (s *Space) TreeEdgeRemoved(root graph.VertexID, level int, pl, el, cl graph
 // mutate the result.
 func (s *Space) Vector(v graph.VertexID) Vector { return s.vectors[v] }
 
+// EnablePacking turns on the packed-vector cache: from the next TakeDirty
+// on, every dirty vertex's vector is sealed into PackedVector form at the
+// timestamp boundary, and Packed/PackedVectors serve reads from the cache
+// without map iteration. Filters whose evaluation runs on the packed kernel
+// (NL, Skyline) enable it at stream registration; counter-based filters
+// (DSC) skip it and pay nothing.
+func (s *Space) EnablePacking() {
+	if s.packed == nil {
+		s.packed = make(map[graph.VertexID]PackedVector, len(s.vectors))
+	}
+}
+
+// PackingEnabled reports whether the packed cache is active.
+func (s *Space) PackingEnabled() bool { return s.packed != nil }
+
+// Epoch reports the number of seal generations (TakeDirty calls).
+func (s *Space) Epoch() uint64 { return s.epoch }
+
+// Packed returns the packed NPV of v. In steady state (packing enabled, no
+// pending dirt) this is a single cache lookup and never allocates. A vertex
+// with pending dirt — or a space without packing enabled — is packed fresh
+// from the live map so the result is always current; the cache itself is
+// only written at TakeDirty, which keeps concurrent evaluation readers
+// race-free.
+func (s *Space) Packed(v graph.VertexID) (PackedVector, bool) {
+	if len(s.dirty) != 0 {
+		if _, dd := s.dirty[v]; dd {
+			vec, ok := s.vectors[v]
+			if !ok {
+				return PackedVector{}, false
+			}
+			return Pack(vec), true
+		}
+	}
+	if s.packed != nil {
+		if p, ok := s.packed[v]; ok {
+			return p, true
+		}
+	}
+	vec, ok := s.vectors[v]
+	if !ok {
+		return PackedVector{}, false
+	}
+	return Pack(vec), true
+}
+
+// PackedVectors calls fn for every (vertex, packed vector) pair, like
+// Vectors but through the packed cache. Iteration order is unspecified; fn
+// returning false stops iteration.
+func (s *Space) PackedVectors(fn func(v graph.VertexID, p PackedVector) bool) {
+	for v := range s.vectors {
+		p, _ := s.Packed(v)
+		if !fn(v, p) {
+			return
+		}
+	}
+}
+
 // RootLabel returns the vertex label of v as last observed.
 func (s *Space) RootLabel(v graph.VertexID) (graph.Label, bool) {
 	l, ok := s.labels[v]
@@ -106,10 +174,18 @@ func (s *Space) HasDirty() bool { return len(s.dirty) > 0 }
 // TakeDirty returns the vertices whose vectors changed (or were added or
 // removed) since the previous call, and resets the dirty set. Join
 // strategies use this to touch only changed vertices per timestamp.
+//
+// TakeDirty is also the packed cache's seal point: with packing enabled,
+// exactly the dirty vertices are re-frozen (or evicted, when retired), so
+// the cache stays consistent at O(dirty) per timestamp and is immutable
+// between calls. The dirty map itself is retained and cleared rather than
+// reallocated — it is touched every timestamp, and churning a fresh map per
+// call showed up as steady-state garbage (see BenchmarkSpaceTakeDirty).
 func (s *Space) TakeDirty() []graph.VertexID {
 	// Invalidate the event memo: it implies a standing dirty mark, which
 	// this call clears.
 	s.lastValid = false
+	s.epoch++
 	if len(s.dirty) == 0 {
 		return nil
 	}
@@ -117,8 +193,17 @@ func (s *Space) TakeDirty() []graph.VertexID {
 	for v := range s.dirty {
 		out = append(out, v)
 	}
+	clear(s.dirty)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	s.dirty = make(map[graph.VertexID]struct{})
+	if s.packed != nil {
+		for _, v := range out {
+			if vec, ok := s.vectors[v]; ok {
+				s.packed[v] = Pack(vec)
+			} else {
+				delete(s.packed, v)
+			}
+		}
+	}
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
+	"nntstream/internal/npv"
 	"nntstream/internal/obs"
 )
 
@@ -303,7 +304,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the Prometheus text exposition: the registry's typed
 // instruments (engine latency histograms, counters, gauges) followed by the
-// engine's structure-size samples gathered from its obs.Collector surface.
+// engine's structure-size samples gathered from its obs.Collector surface,
+// and the process-wide NPV dominance-kernel counters. The kernel counters
+// are emitted here exactly once — not through the engine's per-filter
+// collectors, which a sharded monitor sums per shard and would therefore
+// multiply the process-global values by the shard count.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -318,6 +323,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		_ = obs.WriteSamples(w, samples)
 	}
+	_ = obs.WriteSamples(w, obs.Gather(npv.KernelStats{}))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -243,6 +243,8 @@ func TestServerMetrics(t *testing.T) {
 		"nntstream_engine_candidate_ratio 1",
 		"nntstream_dsc_column_entries",
 		"nntstream_filter_nnt_nodes",
+		"nntstream_npv_dominance_tests_total",
+		"nntstream_npv_sig_rejects_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -13,35 +13,59 @@ import "nntstream/internal/npv"
 // representative — for the join's purposes equal vectors are
 // interchangeable. The result aliases no input storage beyond the vectors
 // themselves.
+//
+// Each vector is packed once up front and the quadratic comparison phase
+// runs on the packed dominance kernel (sorted-merge with signature
+// pre-filtering) instead of per-pair map iteration.
 func Maximal(vecs []npv.Vector) []npv.Vector {
-	// Deduplicate by value.
-	var uniq []npv.Vector
-	for _, v := range vecs {
+	var out []npv.Vector
+	for _, i := range maximalIndices(npv.PackAll(vecs)) {
+		out = append(out, vecs[i])
+	}
+	return out
+}
+
+// MaximalPacked is Maximal over already-packed vectors, for callers that
+// keep their working set in packed form.
+func MaximalPacked(vecs []npv.PackedVector) []npv.PackedVector {
+	var out []npv.PackedVector
+	for _, i := range maximalIndices(vecs) {
+		out = append(out, vecs[i])
+	}
+	return out
+}
+
+// maximalIndices returns the input indices of the monochromatic skyline:
+// the first occurrence of each distinct undominated vector, in input order.
+func maximalIndices(packed []npv.PackedVector) []int {
+	// Deduplicate by value, keeping first occurrences.
+	var uniq []int
+	for i, p := range packed {
 		dup := false
-		for _, u := range uniq {
-			if u.Equal(v) {
+		for _, j := range uniq {
+			if packed[j].Equal(p) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			uniq = append(uniq, v)
+			uniq = append(uniq, i)
 		}
 	}
-	var out []npv.Vector
-	for i, v := range uniq {
+	var out []int
+	for _, i := range uniq {
 		dominated := false
-		for j, w := range uniq {
+		for _, j := range uniq {
 			if i == j {
 				continue
 			}
-			if w.Dominates(v) {
+			if packed[j].Dominates(packed[i]) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			out = append(out, v)
+			out = append(out, i)
 		}
 	}
 	return out

@@ -14,11 +14,13 @@ import (
 	"nntstream/internal/skyline"
 )
 
-// Index is an immutable NPV index over a graph database.
+// Index is an immutable NPV index over a graph database. Vectors are
+// frozen into packed form at build time, so every query evaluation runs on
+// the sorted-merge dominance kernel with signature pre-filtering.
 type Index struct {
 	depth int
 	db    []*graph.Graph
-	vecs  [][]npv.Vector
+	vecs  [][]npv.PackedVector
 	// maxs[i][d] is graph i's maximum count in dimension d, the skyline
 	// join's cheap refutation applied to the static case.
 	maxs []map[npv.Dim]int32
@@ -30,15 +32,15 @@ func NewIndex(db []*graph.Graph, depth int) *Index {
 	ix := &Index{
 		depth: depth,
 		db:    db,
-		vecs:  make([][]npv.Vector, len(db)),
+		vecs:  make([][]npv.PackedVector, len(db)),
 		maxs:  make([]map[npv.Dim]int32, len(db)),
 	}
 	for i, g := range db {
 		m := make(map[npv.Dim]int32)
-		ix.vecs[i] = npv.VectorsByVertex(npv.ProjectGraph(g, depth))
+		ix.vecs[i] = npv.PackAll(npv.VectorsByVertex(npv.ProjectGraph(g, depth)))
 		for _, v := range ix.vecs[i] {
-			for d, c := range v {
-				if c > m[d] {
+			for j := 0; j < v.Len(); j++ {
+				if d, c := v.Dim(j), v.Count(j); c > m[d] {
 					m[d] = c
 				}
 			}
@@ -116,12 +118,12 @@ func (ix *Index) SearchWithStats(q *graph.Graph) ([]int, SearchStats) {
 	return out, SearchStats{Database: len(ix.db), Candidates: len(cands), Answers: len(out)}
 }
 
-func (ix *Index) dominated(i int, u npv.Vector) bool {
-	if len(u) == 0 {
+func (ix *Index) dominated(i int, u npv.PackedVector) bool {
+	if u.Len() == 0 {
 		return len(ix.vecs[i]) > 0
 	}
-	for d, c := range u {
-		if ix.maxs[i][d] < c {
+	for j := 0; j < u.Len(); j++ {
+		if ix.maxs[i][u.Dim(j)] < u.Count(j) {
 			return false
 		}
 	}
@@ -133,8 +135,8 @@ func (ix *Index) dominated(i int, u npv.Vector) bool {
 	return false
 }
 
-func queryMaximal(q *graph.Graph, depth int) []npv.Vector {
-	return skyline.Maximal(npv.VectorsByVertex(npv.ProjectGraph(q, depth)))
+func queryMaximal(q *graph.Graph, depth int) []npv.PackedVector {
+	return skyline.MaximalPacked(npv.PackAll(npv.VectorsByVertex(npv.ProjectGraph(q, depth))))
 }
 
 func max(a, b int) int {
