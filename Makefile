@@ -42,10 +42,11 @@ test:
 # internal/join carries the parallel ApplyAll fan-out and internal/gindex is
 # shared read-side state under the sharded engine — both race-critical.
 # internal/npv holds the packed-vector cache read concurrently by that
-# fan-out and the atomic kernel counters.
+# fan-out and the atomic kernel counters. internal/qindex is the sealed
+# query-candidate index read concurrently by the same fan-out.
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
-		./internal/join/... ./internal/gindex/... ./internal/npv/...
+		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
 # writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering
@@ -54,13 +55,16 @@ crashtest:
 	$(GO) test -count=3 -run 'Crash|Recover|Torn|KillPoint|Fault' ./internal/wal/... ./internal/core/...
 
 # Short native-fuzzer runs over every decoder that reads crash debris or
-# user files: WAL frames, checkpoint JSON, graph text formats. The default
-# budget keeps it pre-commit-friendly; override FUZZTIME for a real campaign.
+# user files (WAL frames, checkpoint JSON, graph text formats) plus the
+# kernel-equivalence properties (packed dominance, qindex candidate
+# soundness). The default budget keeps it pre-commit-friendly; override
+# FUZZTIME for a real campaign.
 fuzzsmoke:
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -fuzz=FuzzPackedDominates -fuzztime=$(FUZZTIME) ./internal/npv/
+	$(GO) test -fuzz=FuzzQindexCandidates -fuzztime=$(FUZZTIME) ./internal/qindex/
 
 # Record a benchmark trajectory (see benchjson_test.go): every figure bench
 # as JSON, tagged with the current revision.

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -87,8 +88,11 @@ func (o *overrideFlag) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("bad fraction in %q: %v", s, err)
 	}
-	if f < 0 {
-		return fmt.Errorf("negative threshold in %q", s)
+	// A zero or negative tolerance would flag every run (benchmarks are
+	// never exactly equal), and NaN/Inf would make the gate vacuous — all
+	// three are typos, not intents.
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("threshold in %q must be a finite fraction > 0", s)
 	}
 	if o.m == nil {
 		o.m = make(map[string]float64)
@@ -165,6 +169,23 @@ func run(baselinePath, candidatePath string, th thresholds, warnOnly bool, w *os
 	if base.GoMaxProcs != cand.GoMaxProcs || base.GoVersion != cand.GoVersion {
 		fmt.Fprintf(w, "benchgate: environment mismatch: baseline %s GOMAXPROCS=%d vs candidate %s GOMAXPROCS=%d — treat deltas with suspicion\n",
 			base.GoVersion, base.GoMaxProcs, cand.GoVersion, cand.GoMaxProcs)
+	}
+	// An override naming a benchmark in neither report is doing nothing —
+	// almost always a renamed bench or a typo in the Makefile. Warn (never
+	// fail: benches come and go across PRs and the flags outlive them).
+	names := make([]string, 0, len(th.perBench))
+	for name := range th.perBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := base.Lookup(name); ok {
+			continue
+		}
+		if _, ok := cand.Lookup(name); ok {
+			continue
+		}
+		fmt.Fprintf(w, "benchgate: warning: -threshold-for %s matches no benchmark in either report\n", name)
 	}
 	regressions := 0
 	for _, d := range compare(base, cand, th) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nntstream/internal/benchfmt"
@@ -97,10 +98,25 @@ func TestOverrideFlagParsing(t *testing.T) {
 	if o.m["NPV_Dominates_Packed"] != 0.50 || o.m["Fig12_NL"] != 0.3 {
 		t.Fatalf("parsed overrides = %v", o.m)
 	}
-	for _, bad := range []string{"NoEquals", "=0.5", "X=notafloat", "X=-0.1"} {
+	for _, bad := range []string{
+		"NoEquals", // no separator
+		"=0.5",     // empty name
+		"X=",       // empty fraction
+		"X=notafloat",
+		"X=-0.1", // negative: would flag improvements
+		"X=0",    // zero tolerance: everything regresses
+		"X=-0",
+		"X=NaN", // never comparable: gate vacuous
+		"X=Inf", // infinite tolerance: gate vacuous
+		"X=+Inf",
+		"X=-Inf",
+	} {
 		if err := o.Set(bad); err == nil {
 			t.Errorf("Set(%q) accepted; want error", bad)
 		}
+	}
+	if len(o.m) != 2 {
+		t.Fatalf("rejected inputs mutated the map: %v", o.m)
 	}
 	if s := o.String(); s != "Fig12_NL=0.3,NPV_Dominates_Packed=0.5" {
 		t.Errorf("String() = %q", s)
@@ -163,5 +179,45 @@ func TestRunExitCodes(t *testing.T) {
 	over := thresholds{global: 0.20, perBench: map[string]float64{"X": 1.5}}
 	if code := run(base, bad, over, false, devnull); code != 0 {
 		t.Fatalf("per-bench override: exit %d; want 0", code)
+	}
+}
+
+// TestRunWarnsUnknownOverride pins the tooling bugfix: an override naming a
+// benchmark absent from both reports produces a warning (so a renamed bench
+// or Makefile typo is visible) but never changes the exit code.
+func TestRunWarnsUnknownOverride(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(map[string]float64{"X": 1000}))
+	cand := writeReport(t, dir, "cand.json", report(map[string]float64{"X": 1100}))
+
+	capture := func(th thresholds) (int, string) {
+		t.Helper()
+		out, err := os.CreateTemp(dir, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		code := run(base, cand, th, false, out)
+		text, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code, string(text)
+	}
+
+	th := thresholds{global: 0.20, perBench: map[string]float64{"Renamed": 0.5, "X": 0.5}}
+	code, text := capture(th)
+	if code != 0 {
+		t.Fatalf("unknown override name changed exit code to %d", code)
+	}
+	if want := "warning: -threshold-for Renamed matches no benchmark"; !strings.Contains(text, want) {
+		t.Fatalf("output %q missing %q", text, want)
+	}
+	if strings.Contains(text, "-threshold-for X") {
+		t.Fatalf("output %q warns about a known benchmark", text)
+	}
+
+	if _, text := capture(thresholds{global: 0.20, perBench: map[string]float64{"X": 0.5}}); strings.Contains(text, "warning") {
+		t.Fatalf("output %q has spurious warning", text)
 	}
 }

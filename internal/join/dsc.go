@@ -8,6 +8,7 @@ import (
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
+	"nntstream/internal/qindex"
 )
 
 // DSC is the dominated-set-cover join (Figure 8). Query vectors are
@@ -24,11 +25,16 @@ import (
 // The stream-side state is updated incrementally: when a vertex's NPV moves
 // in a dimension, only the sorted entries between its old and new position
 // are touched — the paper's key efficiency argument for stream settings.
+//
+// The sorted per-dimension columns live in a qindex.Index: DSC's crossed-
+// entry ranges are exactly the index's per-dimension postings between two
+// upper bounds, so the query dominance index is DSC's column store rather
+// than a separate candidate stage (the counters already make evaluation
+// incremental in the dirty set).
 type DSC struct {
-	depth  int
-	sealed bool
-	// cols holds, per dimension, the query-vertex entries sorted by value.
-	cols map[npv.Dim]*dscColumn
+	depth int
+	// ix holds, per dimension, the query-vertex postings sorted by count.
+	ix *qindex.Index
 	// nnz is the nonzero-dimension count per query vertex; query vertices
 	// with empty vectors (no edges) are trivially dominated and excluded.
 	nnz map[qKey]int
@@ -47,15 +53,6 @@ type DSC struct {
 	// CollectMetrics.
 	domUpdates int64
 	pool       evalPool
-}
-
-type dscColumn struct {
-	entries []dscEntry // sorted by value ascending
-}
-
-type dscEntry struct {
-	key   qKey
-	value int32
 }
 
 type dscStream struct {
@@ -80,7 +77,7 @@ var (
 func NewDSC(depth int) *DSC {
 	return &DSC{
 		depth:   depth,
-		cols:    make(map[npv.Dim]*dscColumn),
+		ix:      qindex.New(),
 		nnz:     make(map[qKey]int),
 		qvecs:   make(map[qKey]npv.PackedVector),
 		qsize:   make(map[core.QueryID]int),
@@ -118,27 +115,11 @@ func (f *DSC) AddQuery(id core.QueryID, q *graph.Graph) error {
 		f.nnz[k] = vec.Len()
 		f.qvecs[k] = vec
 		size++
-		for i := 0; i < vec.Len(); i++ {
-			d, c := vec.Dim(i), vec.Count(i)
-			col, ok := f.cols[d]
-			if !ok {
-				col = &dscColumn{}
-				f.cols[d] = col
-			}
-			if !f.sealed {
-				// Build-phase columns are batch-sorted once at seal(), before
-				// any read; packed iteration makes the append order
-				// deterministic too (ascending vertex, then Dim).
-				col.entries = append(col.entries, dscEntry{key: k, value: c})
-				continue
-			}
-			// Live insert at the sorted position.
-			idx := upperBound(col.entries, c)
-			col.entries = append(col.entries, dscEntry{})
-			copy(col.entries[idx+1:], col.entries[idx:])
-			col.entries[idx] = dscEntry{key: k, value: c}
-		}
-		if f.sealed {
+		// The index handles both phases: build-phase postings are appended
+		// and batch-sorted once at Seal, live additions insert at the sorted
+		// position per column.
+		f.ix.Add(qindex.Key{Query: id, Vertex: v}, vec)
+		if f.ix.Sealed() {
 			for _, ds := range f.streams {
 				f.attachQueryVertex(ds, k, vec)
 			}
@@ -191,22 +172,13 @@ func (f *DSC) RemoveQuery(id core.QueryID) error {
 	if _, ok := f.qsize[id]; !ok {
 		return fmt.Errorf("join: unknown query %d", id)
 	}
+	f.ix.RemoveQuery(id)
 	for k, vec := range f.qvecs {
 		if k.Q != id {
 			continue
 		}
 		for qi := 0; qi < vec.Len(); qi++ {
 			d, c := vec.Dim(qi), vec.Count(qi)
-			col := f.cols[d]
-			for i := range col.entries {
-				if col.entries[i].key == k {
-					col.entries = append(col.entries[:i], col.entries[i+1:]...)
-					break
-				}
-			}
-			if len(col.entries) == 0 {
-				delete(f.cols, d)
-			}
 			for _, ds := range f.streams {
 				f.rollbackPositions(ds, d, c)
 			}
@@ -250,19 +222,9 @@ func (f *DSC) rollbackPositions(ds *dscStream, d npv.Dim, c int32) {
 	})
 }
 
-func (f *DSC) seal() {
-	if f.sealed {
-		return
-	}
-	f.sealed = true
-	for _, col := range f.cols {
-		sort.Slice(col.entries, func(i, j int) bool { return col.entries[i].value < col.entries[j].value })
-	}
-}
-
-// AddStream implements core.Filter.
+// AddStream implements core.Filter. The first stream seals the index.
 func (f *DSC) AddStream(id core.StreamID, g0 *graph.Graph) error {
-	f.seal()
+	f.ix.Seal()
 	if _, ok := f.streams[id]; ok {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
@@ -349,7 +311,7 @@ func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID, work *int64) {
 		touch[d] = struct{}{}
 	}
 	for d := range newVec {
-		if _, ok := f.cols[d]; ok {
+		if f.ix.HasDim(d) {
 			touch[d] = struct{}{}
 		}
 	}
@@ -361,18 +323,18 @@ func (f *DSC) updateVertex(ds *dscStream, v graph.VertexID, work *int64) {
 		ds.pos[v] = pos
 	}
 	for d := range touch {
-		col := f.cols[d]
+		col := f.ix.Postings(d)
 		oldPos := pos[d]
 		newVal := newVec.Get(d) // Get on nil map is safe: method on map type
-		newPos := upperBound(col.entries, newVal)
+		newPos := qindex.UpperBound(col, newVal)
 		switch {
 		case newPos > oldPos:
-			for _, e := range col.entries[oldPos:newPos] {
-				f.incDom(ds, v, e.key, work)
+			for _, e := range col[oldPos:newPos] {
+				f.incDom(ds, v, qKey{Q: e.Key.Query, V: e.Key.Vertex}, work)
 			}
 		case newPos < oldPos:
-			for _, e := range col.entries[newPos:oldPos] {
-				f.decDom(ds, v, e.key, work)
+			for _, e := range col[newPos:oldPos] {
+				f.decDom(ds, v, qKey{Q: e.Key.Query, V: e.Key.Vertex}, work)
 			}
 		}
 		if newPos == 0 {
@@ -426,11 +388,6 @@ func (f *DSC) decDom(ds *dscStream, v graph.VertexID, k qKey, work *int64) {
 	}
 }
 
-// upperBound returns the number of entries with value ≤ val.
-func upperBound(entries []dscEntry, val int32) int {
-	return sort.Search(len(entries), func(i int) bool { return entries[i].value > val })
-}
-
 // Candidates implements core.Filter.
 func (f *DSC) Candidates() []core.Pair {
 	var out []core.Pair
@@ -450,12 +407,9 @@ var _ obs.Collector = (*DSC)(nil)
 // drive DSC's per-step cost: sorted-column entries, position/dominance
 // counter footprints, and the NNT node count of the observed forests.
 func (f *DSC) CollectMetrics(emit func(name string, value float64)) {
-	entries := 0
-	for _, col := range f.cols {
-		entries += len(col.entries)
-	}
-	emit("nntstream_dsc_column_entries", float64(entries))
-	emit("nntstream_dsc_columns", float64(len(f.cols)))
+	emit("nntstream_dsc_column_entries", float64(f.ix.PostingCount()))
+	emit("nntstream_dsc_columns", float64(f.ix.DimCount()))
+	emit("nntstream_qindex_postings", float64(f.ix.PostingCount()))
 	emit("nntstream_dsc_query_vertices", float64(len(f.nnz)))
 	emit("nntstream_dsc_dom_updates_total", float64(f.domUpdates))
 	nodes, posVerts, domVerts := 0, 0, 0

@@ -7,17 +7,32 @@ import (
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
+	"nntstream/internal/qindex"
 )
 
 // NL is the nested-loop join baseline: whenever a stream changes, every
-// query is re-checked against it by scanning all (query vertex, stream
-// vertex) vector pairs for dominance. Simple, correct, and the yardstick
-// the two optimized strategies are measured against.
+// affected query is re-checked against it by scanning all (query vertex,
+// stream vertex) vector pairs for dominance. Simple, correct, and the
+// yardstick the two optimized strategies are measured against.
+//
+// "Affected" is where the query dominance index comes in: instead of
+// re-evaluating all registered queries per dirty stream (O(queries) per
+// timestamp), the filter feeds each dirty vertex's sealed (old, new)
+// transition to its qindex.Index and re-evaluates only the returned
+// candidates — a superset of the queries whose verdict could have changed,
+// so the kept verdicts are exact by construction. DisableQueryIndex
+// restores the full scan, as the measurement baseline and the reference
+// the indexed path is tested against.
 type NL struct {
 	depth   int
 	queries map[core.QueryID][]npv.PackedVector
 	streams map[core.StreamID]*streamState
 	verdict map[core.StreamID]map[core.QueryID]bool
+	// ix generates the candidate queries per dirty stream; indexed gates
+	// it (true by default; the scan path is kept as the benchmark/testing
+	// reference).
+	ix      *qindex.Index
+	indexed bool
 	// vectorScans counts stream vectors scanned during dominance checks over
 	// the run. Written only on the (serialized) maintenance path — parallel
 	// batches accumulate per-task counts and merge them after the join — and
@@ -39,7 +54,21 @@ func NewNL(depth int) *NL {
 		queries: make(map[core.QueryID][]npv.PackedVector),
 		streams: make(map[core.StreamID]*streamState),
 		verdict: make(map[core.StreamID]map[core.QueryID]bool),
+		ix:      qindex.New(),
+		indexed: true,
 	}
+}
+
+// DisableQueryIndex turns off candidate generation: every dirty stream
+// re-evaluates every registered query, as the filter did before the index
+// existed. It exists for benchmarks (the sub-linear claim needs its linear
+// baseline) and equivalence tests, and must be called before any query or
+// stream is registered.
+func (f *NL) DisableQueryIndex() {
+	if len(f.queries) != 0 || len(f.streams) != 0 {
+		panic("join: DisableQueryIndex after registration")
+	}
+	f.indexed = false
 }
 
 // Name implements core.Filter.
@@ -57,29 +86,38 @@ func (f *NL) AddQuery(id core.QueryID, q *graph.Graph) error {
 	}
 	vecs := packQuery(q, f.depth)
 	f.queries[id] = vecs
+	if f.indexed {
+		for i, u := range vecs {
+			f.ix.Add(qindex.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+	}
 	for sid, st := range f.streams {
 		f.verdict[sid][id] = f.evaluateOne(st, vecs)
 	}
 	return nil
 }
 
-// RemoveQuery implements core.DynamicFilter.
+// RemoveQuery implements core.DynamicFilter: the packed query vectors, the
+// per-stream verdicts, and the index postings are all torn down.
 func (f *NL) RemoveQuery(id core.QueryID) error {
 	if _, ok := f.queries[id]; !ok {
 		return fmt.Errorf("join: unknown query %d", id)
 	}
 	delete(f.queries, id)
+	f.ix.RemoveQuery(id)
 	for _, m := range f.verdict {
 		delete(m, id)
 	}
 	return nil
 }
 
-// AddStream implements core.Filter.
+// AddStream implements core.Filter. The first stream seals the index (like
+// DSC's build phase, registration appends cheaply and sorts once).
 func (f *NL) AddStream(id core.StreamID, g0 *graph.Graph) error {
 	if _, ok := f.streams[id]; ok {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
+	f.ix.Seal()
 	st := newStreamState(g0, f.depth, true)
 	st.space.TakeDirty()
 	f.streams[id] = st
@@ -100,20 +138,32 @@ func (f *NL) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	if !st.space.HasDirty() {
 		return nil // nothing changed; verdicts stand
 	}
-	st.space.TakeDirty() // NL re-evaluates wholesale; consume the set
-	f.evaluate(id)
+	if !f.indexed {
+		st.space.TakeDirty() // unindexed NL re-evaluates wholesale
+		f.evaluate(id)
+		return nil
+	}
+	for _, qid := range f.ix.AffectedQueries(st.space.SealDirty()) {
+		f.verdict[id][qid] = f.evaluateOne(st, f.queries[qid])
+	}
 	return nil
 }
 
 // ApplyAll implements core.BatchApplier: NNT maintenance runs one task per
-// stream, then dominance re-evaluation fans out one task per dirty
-// (stream, query) pair. Each task writes only its own slot, and the merge
-// walks slots in (StreamID, QueryID) order, so the verdicts — and
-// therefore Candidates — are bit-identical to the sequential path.
+// stream — which also seals that stream's dirty vertices and asks the
+// index for the affected queries — then dominance re-evaluation fans out
+// one task per (dirty stream, candidate query) pair. Each task writes only
+// its own slot, and the merge walks slots in (StreamID, QueryID) order, so
+// the verdicts — and therefore Candidates — are bit-identical to the
+// sequential path.
 func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 	ids := batchStreamIDs(changes)
 	errs := make([]error, len(ids))
-	dirty := make([]bool, len(ids))
+	cands := make([][]core.QueryID, len(ids))
+	var allQ []core.QueryID
+	if !f.indexed {
+		allQ = sortedQueryIDs(f.queries)
+	}
 	f.pool.run(len(ids), func(i int) {
 		id := ids[i]
 		st, ok := f.streams[id]
@@ -125,22 +175,26 @@ func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 			errs[i] = err
 			return
 		}
-		if st.space.HasDirty() {
+		if !st.space.HasDirty() {
+			return
+		}
+		if f.indexed {
+			// Candidate generation reads the sealed, immutable index plus
+			// atomic counters, so running it inside the per-stream task is
+			// race-free; the result lands in this task's own slot.
+			cands[i] = f.ix.AffectedQueries(st.space.SealDirty())
+		} else {
 			st.space.TakeDirty()
-			dirty[i] = true
+			cands[i] = allQ
 		}
 	})
 	if err := firstError(errs); err != nil {
 		return err
 	}
 
-	qids := sortedQueryIDs(f.queries)
 	var tasks []pairTask
 	for i, id := range ids {
-		if !dirty[i] {
-			continue
-		}
-		for _, qid := range qids {
+		for _, qid := range cands[i] {
 			tasks = append(tasks, pairTask{sid: id, qid: qid})
 		}
 	}
@@ -202,8 +256,8 @@ func (f *NL) Candidates() []core.Pair {
 var _ obs.Collector = (*NL)(nil)
 
 // CollectMetrics implements obs.Collector with the nested-loop work and
-// structure sizes: query/stream vector counts, scan totals, and the NNT node
-// count of the observed forests.
+// structure sizes: query/stream vector counts, scan totals, index postings,
+// and the NNT node count of the observed forests.
 func (f *NL) CollectMetrics(emit func(name string, value float64)) {
 	qvecs := 0
 	for _, vecs := range f.queries {
@@ -211,6 +265,7 @@ func (f *NL) CollectMetrics(emit func(name string, value float64)) {
 	}
 	emit("nntstream_nl_query_vectors", float64(qvecs))
 	emit("nntstream_nl_vector_scans_total", float64(f.vectorScans))
+	emit("nntstream_qindex_postings", float64(f.ix.PostingCount()))
 	svecs, nodes := 0, 0
 	for _, st := range f.streams {
 		svecs += st.space.Len()

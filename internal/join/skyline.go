@@ -8,6 +8,7 @@ import (
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
+	"nntstream/internal/qindex"
 	"nntstream/internal/skyline"
 )
 
@@ -24,10 +25,20 @@ import (
 //     ("no stream vector is large enough in dimension d"), and otherwise
 //     only the vectors of the query vector's lowest-cardinality nonzero
 //     dimension are scanned, since any dominator must appear there.
+//
+// A fourth optimization is ours: the maximal vectors of every registered
+// query live in a qindex.Index, so a changed stream re-evaluates only the
+// queries whose verdict the dirty vertices' seal transitions could have
+// flipped, instead of all of them. DisableQueryIndex restores the full
+// re-evaluation as the benchmark/testing reference.
 type Skyline struct {
 	depth   int
 	queries map[core.QueryID][]npv.PackedVector // maximal vectors, probe order
 	streams map[core.StreamID]*skyStream
+	// ix indexes the maximal vectors for candidate generation; indexed
+	// gates it (true by default).
+	ix      *qindex.Index
+	indexed bool
 	// probeScans counts stream vectors scanned inside dominated's probe loop
 	// over the run — the work the per-dimension max refutation saves.
 	// Written only on the (serialized) maintenance path — parallel batches
@@ -65,7 +76,19 @@ func NewSkyline(depth int) *Skyline {
 		depth:   depth,
 		queries: make(map[core.QueryID][]npv.PackedVector),
 		streams: make(map[core.StreamID]*skyStream),
+		ix:      qindex.New(),
+		indexed: true,
 	}
+}
+
+// DisableQueryIndex turns off candidate generation: every changed stream
+// re-evaluates every registered query. For benchmarks and equivalence
+// tests; must be called before any query or stream is registered.
+func (f *Skyline) DisableQueryIndex() {
+	if len(f.queries) != 0 || len(f.streams) != 0 {
+		panic("join: DisableQueryIndex after registration")
+	}
+	f.indexed = false
 }
 
 // Name implements core.Filter.
@@ -84,29 +107,39 @@ func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
 	// a non-joinable pair is refuted early.
 	sort.Slice(maximal, func(i, j int) bool { return maximal[i].L1() > maximal[j].L1() })
 	f.queries[id] = maximal
+	if f.indexed {
+		// Only the maximal vectors decide the verdict, so only they are
+		// indexed; the key's vertex slot holds the probe-order position.
+		for i, u := range maximal {
+			f.ix.Add(qindex.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+	}
 	for _, ss := range f.streams {
 		ss.verdict[id] = f.evaluate(ss, maximal)
 	}
 	return nil
 }
 
-// RemoveQuery implements core.DynamicFilter.
+// RemoveQuery implements core.DynamicFilter: the maximal vectors, the
+// per-stream verdicts, and the index postings are all torn down.
 func (f *Skyline) RemoveQuery(id core.QueryID) error {
 	if _, ok := f.queries[id]; !ok {
 		return fmt.Errorf("join: unknown query %d", id)
 	}
 	delete(f.queries, id)
+	f.ix.RemoveQuery(id)
 	for _, ss := range f.streams {
 		delete(ss.verdict, id)
 	}
 	return nil
 }
 
-// AddStream implements core.Filter.
+// AddStream implements core.Filter. The first stream seals the index.
 func (f *Skyline) AddStream(id core.StreamID, g0 *graph.Graph) error {
 	if _, ok := f.streams[id]; ok {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
+	f.ix.Seal()
 	ss := &skyStream{
 		st:      newStreamState(g0, f.depth, true),
 		prev:    make(map[graph.VertexID]npv.Vector),
@@ -132,15 +165,17 @@ func (f *Skyline) Apply(id core.StreamID, cs graph.ChangeSet) error {
 }
 
 // ApplyAll implements core.BatchApplier: per-dimension statistics
-// reconcile one task per stream (they mutate that stream's state only),
-// then verdict re-evaluation fans out one task per dirty (stream, query)
+// reconcile one task per stream (they mutate that stream's state only) and
+// ask the index for that stream's candidate queries, then verdict
+// re-evaluation fans out one task per (dirty stream, candidate query)
 // pair — evaluation only reads the reconciled stats and the query
 // vectors. Slot-ordered merge keeps the verdicts bit-identical to the
 // sequential path.
 func (f *Skyline) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 	ids := batchStreamIDs(changes)
 	errs := make([]error, len(ids))
-	dirty := make([]bool, len(ids))
+	cands := make([][]core.QueryID, len(ids))
+	allQ := sortedQueryIDs(f.queries)
 	f.pool.run(len(ids), func(i int) {
 		id := ids[i]
 		ss, ok := f.streams[id]
@@ -152,19 +187,25 @@ func (f *Skyline) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 			errs[i] = err
 			return
 		}
-		dirty[i] = f.reconcile(ss)
+		deltas := f.reconcile(ss)
+		switch {
+		case len(deltas) == 0 && len(ss.verdict) == len(f.queries):
+			// Nothing changed; verdicts stand.
+		case f.indexed && len(ss.verdict) == len(f.queries):
+			// Candidate generation reads the sealed, immutable index plus
+			// atomic counters — race-free inside the per-stream task.
+			cands[i] = f.ix.AffectedQueries(deltas)
+		default:
+			cands[i] = allQ
+		}
 	})
 	if err := firstError(errs); err != nil {
 		return err
 	}
 
-	qids := sortedQueryIDs(f.queries)
 	var tasks []pairTask
 	for i, id := range ids {
-		if !dirty[i] {
-			continue
-		}
-		for _, qid := range qids {
+		for _, qid := range cands[i] {
 			tasks = append(tasks, pairTask{sid: id, qid: qid})
 		}
 	}
@@ -182,25 +223,33 @@ func (f *Skyline) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 }
 
 // refresh reconciles the per-dimension statistics with the dirty vertices
-// and re-evaluates all query verdicts for the stream.
+// and re-evaluates the affected query verdicts for the stream — all of
+// them on the unindexed path (or when the verdict map is still being
+// built), only the index's candidates otherwise.
 func (f *Skyline) refresh(ss *skyStream) {
-	if !f.reconcile(ss) {
+	deltas := f.reconcile(ss)
+	if len(deltas) == 0 && len(ss.verdict) == len(f.queries) {
 		return
 	}
-	for qid, maximal := range f.queries {
-		ss.verdict[qid] = f.evaluate(ss, maximal)
+	if !f.indexed || len(ss.verdict) != len(f.queries) {
+		for qid, maximal := range f.queries {
+			ss.verdict[qid] = f.evaluate(ss, maximal)
+		}
+		return
+	}
+	for _, qid := range f.ix.AffectedQueries(deltas) {
+		ss.verdict[qid] = f.evaluate(ss, f.queries[qid])
 	}
 }
 
 // reconcile folds the stream's dirty vertices into its per-dimension
-// statistics, reporting whether the verdicts need recomputation. It
-// mutates only ss, so distinct streams reconcile independently.
-func (f *Skyline) reconcile(ss *skyStream) bool {
-	dirty := ss.st.space.TakeDirty()
-	if len(dirty) == 0 && len(ss.verdict) == len(f.queries) {
-		return false
-	}
-	for _, v := range dirty {
+// statistics and returns their seal transitions (nil when no vector
+// changed). It mutates only ss, so distinct streams reconcile
+// independently.
+func (f *Skyline) reconcile(ss *skyStream) []npv.DirtyDelta {
+	deltas := ss.st.space.SealDirty()
+	for _, dl := range deltas {
+		v := dl.Vertex
 		// Deregister the old vector.
 		if old, ok := ss.prev[v]; ok {
 			for d, val := range old {
@@ -240,7 +289,7 @@ func (f *Skyline) reconcile(ss *skyStream) bool {
 			}
 		}
 	}
-	return true
+	return deltas
 }
 
 // evaluate reports joinability: true iff every maximal query vector is
@@ -309,7 +358,8 @@ var _ obs.Collector = (*Skyline)(nil)
 
 // CollectMetrics implements obs.Collector with the structure sizes that
 // drive the skyline probe: maximal query vectors, per-dimension statistics,
-// registered stream vectors, and the NNT node count of the observed forests.
+// index postings, registered stream vectors, and the NNT node count of the
+// observed forests.
 func (f *Skyline) CollectMetrics(emit func(name string, value float64)) {
 	maximal := 0
 	for _, vecs := range f.queries {
@@ -317,6 +367,7 @@ func (f *Skyline) CollectMetrics(emit func(name string, value float64)) {
 	}
 	emit("nntstream_skyline_maximal_query_vectors", float64(maximal))
 	emit("nntstream_skyline_probe_scans_total", float64(f.probeScans))
+	emit("nntstream_qindex_postings", float64(f.ix.PostingCount()))
 	dims, vecs, nodes := 0, 0, 0
 	for _, ss := range f.streams {
 		dims += len(ss.dims)

@@ -207,6 +207,72 @@ func (s *Space) TakeDirty() []graph.VertexID {
 	return out
 }
 
+// DirtyDelta is one vertex's transition across a seal boundary: the packed
+// vector sealed at the previous TakeDirty/SealDirty (Old, when HadOld) and
+// the packed vector sealed now (New, when HasNew). A vertex added since the
+// last seal has HadOld false; a retired vertex has HasNew false; a vertex
+// added and retired within the same timestamp has neither.
+type DirtyDelta struct {
+	Vertex graph.VertexID
+	Old    PackedVector
+	New    PackedVector
+	HadOld bool
+	HasNew bool
+}
+
+// Changed reports whether the transition is observable at all: a presence
+// change, or a present-before-and-after vertex whose packed vector differs.
+func (d DirtyDelta) Changed() bool {
+	if d.HadOld != d.HasNew {
+		return true
+	}
+	if !d.HadOld {
+		return false
+	}
+	return !d.Old.Equal(d.New)
+}
+
+// SealDirty is TakeDirty for consumers that need the transition, not just
+// the vertex set: it consumes the dirty set, reseals the packed cache, and
+// returns one DirtyDelta per dirty vertex in ascending vertex order. Old is
+// read from the cache before resealing, so it is exactly the value the
+// previous seal exposed to evaluation — the pair (Old, New) is the precise
+// input the query dominance index (internal/qindex) prunes candidates with.
+//
+// SealDirty requires EnablePacking: without the cache there is no sealed
+// "before" value, and a caller that silently saw HadOld == false for a
+// vertex that merely changed would under-report candidates.
+func (s *Space) SealDirty() []DirtyDelta {
+	if s.packed == nil {
+		panic("npv: SealDirty requires EnablePacking")
+	}
+	s.lastValid = false
+	s.epoch++
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	out := make([]DirtyDelta, 0, len(s.dirty))
+	for v := range s.dirty {
+		out = append(out, DirtyDelta{Vertex: v})
+	}
+	clear(s.dirty)
+	sort.Slice(out, func(i, j int) bool { return out[i].Vertex < out[j].Vertex })
+	for i := range out {
+		v := out[i].Vertex
+		if p, ok := s.packed[v]; ok {
+			out[i].Old, out[i].HadOld = p, true
+		}
+		if vec, ok := s.vectors[v]; ok {
+			p := Pack(vec)
+			out[i].New, out[i].HasNew = p, true
+			s.packed[v] = p
+		} else {
+			delete(s.packed, v)
+		}
+	}
+	return out
+}
+
 // ProjectTree computes the NPV of a single node-neighbor tree from scratch
 // (Procedure TreeProjection, Figure 6). It is the reference implementation
 // that the incremental Space is validated against, and the path used for

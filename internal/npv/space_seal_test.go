@@ -1,0 +1,174 @@
+package npv
+
+import (
+	"testing"
+
+	"nntstream/internal/graph"
+	"nntstream/internal/nnt"
+)
+
+// sealTestForest builds a 3-vertex path 0–1–2 observed by a packing space.
+func sealTestForest(t *testing.T) (*nnt.Forest, *Space) {
+	t.Helper()
+	g := graph.New()
+	for v := 0; v < 3; v++ {
+		if err := g.AddVertex(graph.VertexID(v), graph.Label(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSpace()
+	s.EnablePacking()
+	return nnt.NewForest(g, 2, s), s
+}
+
+func TestSealDirtyRequiresPacking(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SealDirty without EnablePacking did not panic")
+		}
+	}()
+	NewSpace().SealDirty()
+}
+
+// TestSealDirtyTransitions checks the four delta shapes — changed, added,
+// retired, ghost — and that Old is exactly the previously sealed value.
+func TestSealDirtyTransitions(t *testing.T) {
+	f, s := sealTestForest(t)
+	first := s.SealDirty()
+	if len(first) != 3 {
+		t.Fatalf("first seal: %d deltas; want 3", len(first))
+	}
+	for _, dl := range first {
+		if dl.HadOld || !dl.HasNew || !dl.Changed() {
+			t.Fatalf("first seal delta %+v; want added", dl)
+		}
+	}
+	if got := s.SealDirty(); got != nil {
+		t.Fatalf("clean seal returned %v; want nil", got)
+	}
+
+	// Grow a new branch at 0: vertices 0 (changed) and 3 (added) go dirty.
+	before, _ := s.Packed(0)
+	if err := f.Apply(graph.InsertOp(0, 0, 3, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deltas := s.SealDirty()
+	byVertex := make(map[graph.VertexID]DirtyDelta, len(deltas))
+	for _, dl := range deltas {
+		byVertex[dl.Vertex] = dl
+	}
+	d0, ok := byVertex[0]
+	if !ok || !d0.HadOld || !d0.HasNew || !d0.Changed() {
+		t.Fatalf("vertex 0 delta %+v; want changed", d0)
+	}
+	if !d0.Old.Equal(before) {
+		t.Fatalf("vertex 0 Old = %v; previously sealed %v", d0.Old, before)
+	}
+	if !d0.New.Equal(Pack(s.Vector(0))) {
+		t.Fatalf("vertex 0 New = %v; live packs to %v", d0.New, Pack(s.Vector(0)))
+	}
+	d3, ok := byVertex[3]
+	if !ok || d3.HadOld || !d3.HasNew {
+		t.Fatalf("vertex 3 delta %+v; want added", d3)
+	}
+
+	// Retire 3 again: delete its only edge.
+	if err := f.Apply(graph.DeleteOp(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	deltas = s.SealDirty()
+	byVertex = make(map[graph.VertexID]DirtyDelta, len(deltas))
+	for _, dl := range deltas {
+		byVertex[dl.Vertex] = dl
+	}
+	d3, ok = byVertex[3]
+	if !ok || !d3.HadOld || d3.HasNew || !d3.Changed() {
+		t.Fatalf("vertex 3 delta %+v; want retired", d3)
+	}
+	if _, ok := s.Packed(3); ok {
+		t.Fatal("retired vertex still served from the packed cache")
+	}
+
+	// Ghost: add 3 and retire it again within one timestamp.
+	if err := f.Apply(graph.InsertOp(0, 0, 3, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Apply(graph.DeleteOp(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	deltas = s.SealDirty()
+	byVertex = make(map[graph.VertexID]DirtyDelta, len(deltas))
+	for _, dl := range deltas {
+		byVertex[dl.Vertex] = dl
+	}
+	d3, ok = byVertex[3]
+	if !ok {
+		t.Fatal("ghost vertex 3 missing from deltas")
+	}
+	if d3.HadOld || d3.HasNew || d3.Changed() {
+		t.Fatalf("ghost vertex delta %+v; want neither side present", d3)
+	}
+}
+
+// TestPackedCacheRetiredVertex is the regression pin for the packed-cache
+// invalidation of retired vertices: a vertex deleted and re-added within one
+// timestamp must never serve its pre-deletion packed vector, and a vertex
+// retired across a seal must leave no cache entry behind (both TakeDirty
+// and SealDirty evict, they do not merely bump the epoch).
+func TestPackedCacheRetiredVertex(t *testing.T) {
+	for _, seal := range []struct {
+		name string
+		fn   func(*Space)
+	}{
+		{"TakeDirty", func(s *Space) { s.TakeDirty() }},
+		{"SealDirty", func(s *Space) { s.SealDirty() }},
+	} {
+		t.Run(seal.name, func(t *testing.T) {
+			f, s := sealTestForest(t)
+			seal.fn(s)
+			stale, ok := s.Packed(2)
+			if !ok {
+				t.Fatal("vertex 2 missing after first seal")
+			}
+
+			// Retire 2 (it becomes isolated) and re-attach it elsewhere —
+			// with a different edge label, so its vector genuinely differs —
+			// all within one timestamp.
+			if err := f.Apply(graph.DeleteOp(1, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Apply(graph.InsertOp(0, 0, 2, 2, 1)); err != nil {
+				t.Fatal(err)
+			}
+			fresh := Pack(s.Vector(2))
+			if fresh.Equal(stale) {
+				t.Fatal("test graph does not distinguish stale from fresh")
+			}
+			// Before the seal, the dirty-vertex path must already bypass the
+			// cache.
+			if p, ok := s.Packed(2); !ok || !p.Equal(fresh) {
+				t.Fatalf("pre-seal Packed(2) = %v, %v; want fresh %v", p, ok, fresh)
+			}
+			seal.fn(s)
+			if p, ok := s.Packed(2); !ok || !p.Equal(fresh) {
+				t.Fatalf("post-seal Packed(2) = %v, %v; want fresh %v", p, ok, fresh)
+			}
+
+			// Retire 2 for good across a seal: the cache entry must be gone,
+			// not just stale-but-epoch-bumped.
+			if err := f.Apply(graph.DeleteOp(0, 2)); err != nil {
+				t.Fatal(err)
+			}
+			seal.fn(s)
+			if p, ok := s.Packed(2); ok {
+				t.Fatalf("retired vertex 2 still packs to %v", p)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package qindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// decodeFuzzVec reads one small vector from the byte stream: each entry is
+// one byte of dimension (folded into a 16-dim pool so supports collide) and
+// one byte of count.
+func decodeFuzzVec(data []byte) (npv.PackedVector, []byte) {
+	if len(data) == 0 {
+		return npv.PackedVector{}, data
+	}
+	n := int(data[0] % 4)
+	data = data[1:]
+	v := make(npv.Vector)
+	for i := 0; i < n && len(data) >= 2; i++ {
+		v[npv.Dim(data[0]%16)] = int32(data[1]%8) + 1
+		data = data[2:]
+	}
+	return npv.Pack(v), data
+}
+
+// FuzzQindexCandidates drives the soundness property from arbitrary bytes:
+// an index over byte-derived query vectors must always name every query
+// whose dominance bits flip across a byte-derived seal transition. This is
+// the same invariant as TestAffectedQueriesSupersetQuickcheck with the
+// corpus exploring the decode space instead of a fixed distribution.
+func FuzzQindexCandidates(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 3, 2, 5, 1, 1, 4, 3, 2, 1, 3, 3, 1, 2})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		b := make([]byte, 4+r.Intn(64))
+		r.Read(b)
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nq := 1 + int(data[0]%6)
+		flags := data[1]
+		data = data[2:]
+
+		ix := New()
+		vectors := make(map[Key]npv.PackedVector)
+		for q := 0; q < nq; q++ {
+			var p npv.PackedVector
+			p, data = decodeFuzzVec(data)
+			k := Key{Query: core.QueryID(q), Vertex: 0}
+			ix.Add(k, p)
+			vectors[k] = p
+		}
+		ix.Seal()
+		if flags&1 != 0 && nq > 1 {
+			// Post-seal churn: drop query 0, add a fresh one.
+			ix.RemoveQuery(0)
+			delete(vectors, Key{Query: 0, Vertex: 0})
+			var p npv.PackedVector
+			p, data = decodeFuzzVec(data)
+			k := Key{Query: core.QueryID(nq), Vertex: 0}
+			ix.Add(k, p)
+			vectors[k] = p
+		}
+
+		var deltas []npv.DirtyDelta
+		for v := 0; len(data) > 0 && v < 4; v++ {
+			dl := npv.DirtyDelta{Vertex: graph.VertexID(v)}
+			kind := data[0] % 4
+			data = data[1:]
+			if kind == 1 || kind == 3 {
+				dl.Old, data = decodeFuzzVec(data)
+				dl.HadOld = true
+			}
+			if kind == 2 || kind == 3 {
+				dl.New, data = decodeFuzzVec(data)
+				dl.HasNew = true
+			}
+			deltas = append(deltas, dl)
+		}
+
+		got := ix.AffectedQueries(deltas)
+		member := make(map[core.QueryID]struct{}, len(got))
+		for _, q := range got {
+			member[q] = struct{}{}
+		}
+		for _, q := range bruteAffected(vectors, deltas) {
+			if _, ok := member[q]; !ok {
+				t.Fatalf("affected query %d missing from candidates %v (vectors %v, deltas %+v)",
+					q, got, vectors, deltas)
+			}
+		}
+	})
+}

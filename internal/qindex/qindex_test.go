@@ -1,0 +1,302 @@
+package qindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nntstream/internal/core"
+	"nntstream/internal/graph"
+	"nntstream/internal/npv"
+)
+
+// vec builds a packed vector from (dim, count) pairs.
+func vec(pairs ...int) npv.PackedVector {
+	v := make(npv.Vector, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v[npv.Dim(pairs[i])] = int32(pairs[i+1])
+	}
+	return npv.Pack(v)
+}
+
+func key(q, v int) Key {
+	return Key{Query: core.QueryID(q), Vertex: graph.VertexID(v)}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	ix := New()
+	if ix.Sealed() {
+		t.Fatal("fresh index reports sealed")
+	}
+	ix.Add(key(0, 0), vec(1, 3, 2, 1))
+	ix.Add(key(0, 1), vec(1, 5))
+	ix.Add(key(1, 0), vec(2, 2))
+	ix.Add(key(2, 0), vec()) // empty support
+	if got := ix.QueryCount(); got != 3 {
+		t.Fatalf("QueryCount = %d; want 3", got)
+	}
+	if got := ix.PostingCount(); got != 4 {
+		t.Fatalf("PostingCount = %d; want 4", got)
+	}
+	if got := ix.DimCount(); got != 2 {
+		t.Fatalf("DimCount = %d; want 2", got)
+	}
+	e0 := ix.Epoch()
+	ix.Seal()
+	if !ix.Sealed() || ix.Epoch() != e0+1 {
+		t.Fatalf("Seal: sealed=%v epoch=%d; want true, %d", ix.Sealed(), ix.Epoch(), e0+1)
+	}
+	ix.Seal() // idempotent
+	if ix.Epoch() != e0+1 {
+		t.Fatalf("second Seal bumped epoch to %d", ix.Epoch())
+	}
+
+	// Column 1 sorted ascending by count: (0,0)@3, (0,1)@5.
+	col := ix.Postings(npv.Dim(1))
+	if len(col) != 2 || col[0].Count != 3 || col[1].Count != 5 {
+		t.Fatalf("column 1 = %v", col)
+	}
+	if UpperBound(col, 2) != 0 || UpperBound(col, 3) != 1 || UpperBound(col, 9) != 2 {
+		t.Fatalf("UpperBound over %v misplaced", col)
+	}
+	if !ix.HasDim(npv.Dim(2)) || ix.HasDim(npv.Dim(7)) {
+		t.Fatal("HasDim wrong")
+	}
+
+	// Post-seal add inserts at the sorted position and bumps the epoch.
+	ix.Add(key(3, 0), vec(1, 4))
+	if ix.Epoch() != e0+2 {
+		t.Fatalf("post-seal Add epoch = %d; want %d", ix.Epoch(), e0+2)
+	}
+	col = ix.Postings(npv.Dim(1))
+	if len(col) != 3 || col[1].Count != 4 || col[1].Key != key(3, 0) {
+		t.Fatalf("post-seal insert misplaced: %v", col)
+	}
+
+	// Removal tears down every posting and the empty-support record.
+	if !ix.RemoveQuery(core.QueryID(0)) {
+		t.Fatal("RemoveQuery(0) = false")
+	}
+	if ix.RemoveQuery(core.QueryID(0)) {
+		t.Fatal("double RemoveQuery(0) = true")
+	}
+	if got := ix.PostingCount(); got != 2 {
+		t.Fatalf("PostingCount after removal = %d; want 2", got)
+	}
+	if !ix.RemoveQuery(core.QueryID(2)) {
+		t.Fatal("RemoveQuery(2) = false")
+	}
+	deltas := []npv.DirtyDelta{{Vertex: 0, New: vec(1, 9, 2, 9), HasNew: true}}
+	got := ix.AffectedQueries(deltas)
+	want := []core.QueryID{1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AffectedQueries after removals = %v; want %v", got, want)
+	}
+}
+
+func TestAffectedQueriesPanicsUnsealed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AffectedQueries on an unsealed index did not panic")
+		}
+	}()
+	ix := New()
+	ix.Add(key(0, 0), vec(1, 1))
+	ix.AffectedQueries([]npv.DirtyDelta{{Vertex: 0, New: vec(1, 1), HasNew: true}})
+}
+
+func TestAffectedQueriesCases(t *testing.T) {
+	build := func() *Index {
+		ix := New()
+		ix.Add(key(0, 0), vec(1, 3))       // flips when dim 1 crosses 3
+		ix.Add(key(1, 0), vec(1, 3, 2, 1)) // needs dims 1 and 2
+		ix.Add(key(2, 0), vec(5, 1))       // unrelated dimension
+		ix.Add(key(3, 0), vec())           // empty support: presence only
+		ix.Seal()
+		return ix
+	}
+	for _, tc := range []struct {
+		name   string
+		deltas []npv.DirtyDelta
+		want   []core.QueryID
+	}{
+		{
+			// Count moved 2→4 in dim 1: crosses count 3 of queries 0 and 1.
+			// No presence change, so the empty-support query 3 is spared; the
+			// dim-5 query 2 is never reached.
+			name:   "count crossing",
+			deltas: []npv.DirtyDelta{{Vertex: 0, Old: vec(1, 2, 2, 1), New: vec(1, 4, 2, 1), HadOld: true, HasNew: true}},
+			want:   []core.QueryID{0, 1},
+		},
+		{
+			// Count moved 4→5: no posting in (4,5], nothing affected.
+			name:   "no crossing",
+			deltas: []npv.DirtyDelta{{Vertex: 0, Old: vec(1, 4, 2, 1), New: vec(1, 5, 2, 1), HadOld: true, HasNew: true}},
+			want:   []core.QueryID{},
+		},
+		{
+			// Vertex appeared reaching dim 1 only: query 0 could be newly
+			// dominated; query 1 needs dim 2 too (signature prunes it);
+			// presence pulls in the empty-support query 3.
+			name:   "vertex added",
+			deltas: []npv.DirtyDelta{{Vertex: 0, New: vec(1, 9), HasNew: true}},
+			want:   []core.QueryID{0, 3},
+		},
+		{
+			// Vertex retired: the dominance its last sealed vector could have
+			// held is withdrawn, and presence pulls in query 3.
+			name:   "vertex retired",
+			deltas: []npv.DirtyDelta{{Vertex: 0, Old: vec(1, 9, 2, 9), HadOld: true}},
+			want:   []core.QueryID{0, 1, 3},
+		},
+		{
+			// Added and retired within one timestamp: no sealed vector ever
+			// existed on either side, nothing to re-evaluate.
+			name:   "ghost vertex",
+			deltas: []npv.DirtyDelta{{Vertex: 0}},
+			want:   []core.QueryID{},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := build().AffectedQueries(tc.deltas)
+			if got == nil {
+				got = []core.QueryID{}
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("AffectedQueries = %v; want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c0, p0 := Counters()
+	ix := New()
+	ix.Add(key(0, 0), vec(1, 3))
+	ix.Add(key(1, 0), vec(9, 1))
+	ix.Seal()
+	got := ix.AffectedQueries([]npv.DirtyDelta{
+		{Vertex: 0, Old: vec(1, 1), New: vec(1, 5), HadOld: true, HasNew: true},
+	})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("AffectedQueries = %v", got)
+	}
+	c1, p1 := Counters()
+	if c1-c0 != 1 || p1-p0 != 1 {
+		t.Fatalf("counters moved by (%d, %d); want (1, 1)", c1-c0, p1-p0)
+	}
+	seen := map[string]float64{}
+	Stats{}.CollectMetrics(func(name string, value float64) { seen[name] = value })
+	if seen["nntstream_qindex_candidates_total"] != float64(c1) ||
+		seen["nntstream_qindex_pruned_total"] != float64(p1) {
+		t.Fatalf("Stats emitted %v; counters are (%d, %d)", seen, c1, p1)
+	}
+}
+
+// randomVec draws a vector over a small dimension pool so supports overlap
+// often — the regime where candidate generation has to be careful.
+func randomVec(r *rand.Rand) npv.PackedVector {
+	v := make(npv.Vector)
+	for _, d := range []npv.Dim{1, 2, 3, 4, 5} {
+		if r.Intn(2) == 0 {
+			v[d] = int32(1 + r.Intn(6))
+		}
+	}
+	return npv.Pack(v)
+}
+
+// randomDelta draws one vertex transition: changed, added, retired, or
+// ghost (added and retired within the timestamp).
+func randomDelta(r *rand.Rand, v graph.VertexID) npv.DirtyDelta {
+	dl := npv.DirtyDelta{Vertex: v}
+	if r.Intn(4) > 0 {
+		dl.Old, dl.HadOld = randomVec(r), true
+	}
+	if r.Intn(4) > 0 {
+		dl.New, dl.HasNew = randomVec(r), true
+	}
+	return dl
+}
+
+// bruteAffected is the ground truth AffectedQueries must cover: the queries
+// owning a vector whose dominance by some dirty vertex differs between the
+// two sides of its seal transition. Verdicts of a filter are monotone
+// functions of exactly these per-(vertex, vector) dominance bits, so a
+// query outside this set cannot have changed verdict.
+func bruteAffected(vectors map[Key]npv.PackedVector, deltas []npv.DirtyDelta) []core.QueryID {
+	set := make(map[core.QueryID]struct{})
+	for k, u := range vectors {
+		for _, dl := range deltas {
+			before := dl.HadOld && dl.Old.Dominates(u)
+			after := dl.HasNew && dl.New.Dominates(u)
+			if before != after {
+				set[k.Query] = struct{}{}
+				break
+			}
+		}
+	}
+	out := make([]core.QueryID, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestAffectedQueriesSupersetQuickcheck is the soundness property: across
+// random query sets and random seal transitions, the candidate set always
+// contains every query whose dominance bits actually flipped — no false
+// negatives, ever. The contract allows false positives (the filters
+// re-evaluate candidates exactly), but the implementation settles every
+// range hit with the packed kernel and is exact at dominance-bit
+// granularity, so the test pins full equality: weakening the per-posting
+// flip test would silently re-inflate candidate sets and the sweep bench.
+func TestAffectedQueriesSupersetQuickcheck(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		ix := New()
+		vectors := make(map[Key]npv.PackedVector)
+		nq := 1 + r.Intn(8)
+		for q := 0; q < nq; q++ {
+			for vtx := 0; vtx < 1+r.Intn(3); vtx++ {
+				k := key(q, vtx)
+				p := randomVec(r)
+				vectors[k] = p
+				ix.Add(k, p)
+			}
+		}
+		ix.Seal()
+		// Dynamic churn: remove one query, re-add another, post-seal.
+		if nq > 2 && r.Intn(2) == 0 {
+			victim := core.QueryID(r.Intn(nq))
+			ix.RemoveQuery(victim)
+			for k := range vectors {
+				if k.Query == victim {
+					delete(vectors, k)
+				}
+			}
+			k := key(nq, 0)
+			p := randomVec(r)
+			vectors[k] = p
+			ix.Add(k, p)
+		}
+		for trial := 0; trial < 20; trial++ {
+			var deltas []npv.DirtyDelta
+			for v := 0; v < 1+r.Intn(4); v++ {
+				deltas = append(deltas, randomDelta(r, graph.VertexID(v)))
+			}
+			got := ix.AffectedQueries(deltas)
+			if got == nil {
+				got = []core.QueryID{}
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("seed=%d trial=%d: candidates not sorted: %v", seed, trial, got)
+			}
+			if brute := bruteAffected(vectors, deltas); !reflect.DeepEqual(got, brute) {
+				t.Fatalf("seed=%d trial=%d: candidates %v != affected %v (deltas %+v)",
+					seed, trial, got, brute, deltas)
+			}
+		}
+	}
+}

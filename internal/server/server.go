@@ -14,6 +14,7 @@ import (
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
+	"nntstream/internal/qindex"
 )
 
 // Engine is the monitoring surface the server drives. Both core.Monitor and
@@ -305,10 +306,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the Prometheus text exposition: the registry's typed
 // instruments (engine latency histograms, counters, gauges) followed by the
 // engine's structure-size samples gathered from its obs.Collector surface,
-// and the process-wide NPV dominance-kernel counters. The kernel counters
-// are emitted here exactly once — not through the engine's per-filter
-// collectors, which a sharded monitor sums per shard and would therefore
-// multiply the process-global values by the shard count.
+// and the process-wide NPV dominance-kernel and query-index selectivity
+// counters. The process-global counters are emitted here exactly once — not
+// through the engine's per-filter collectors, which a sharded monitor sums
+// per shard and would therefore multiply the values by the shard count.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -324,6 +325,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = obs.WriteSamples(w, samples)
 	}
 	_ = obs.WriteSamples(w, obs.Gather(npv.KernelStats{}))
+	_ = obs.WriteSamples(w, obs.Gather(qindex.Stats{}))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
