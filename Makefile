@@ -11,7 +11,7 @@ BENCHJSON_OUT ?= BENCH_pr.json
 BENCHTIME ?= 100ms
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: verify fmt vet lint build test race crashtest fuzzsmoke benchjson benchgate
+.PHONY: verify fmt vet lint build test race crashtest crashtest-cluster fuzzsmoke benchjson benchgate
 
 verify: fmt vet lint build test race
 
@@ -44,15 +44,26 @@ test:
 # internal/npv holds the packed-vector cache read concurrently by that
 # fan-out and the atomic kernel counters. internal/qindex is the sealed
 # query-candidate index read concurrently by the same fan-out.
+# internal/cluster mixes the coordinator's heartbeat goroutine with the data
+# plane and ships WAL records from under the engine lock; internal/retry backs
+# every cluster RPC.
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
-		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/...
+		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/... \
+		./internal/cluster/... ./internal/retry/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
 # writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering
 # assumptions in the recovery paths.
 crashtest:
 	$(GO) test -count=3 -run 'Crash|Recover|Torn|KillPoint|Fault' ./internal/wal/... ./internal/core/...
+
+# Cluster fault drills: a primary killed at every WAL-record boundary (answers
+# must stay bit-identical to a single node), randomized partition/heal
+# schedules, degraded-mode behavior, rejoin-after-failover, and the live
+# heartbeat loop. -count=1 defeats the test cache so every run re-drills.
+crashtest-cluster:
+	$(GO) test -count=1 -run 'Kill|Partition|Degraded|Rejoin|Heartbeat' ./internal/cluster/...
 
 # Short native-fuzzer runs over every decoder that reads crash debris or
 # user files (WAL frames, checkpoint JSON, graph text formats) plus the

@@ -9,7 +9,13 @@
 //	      [-depth 3] [-shards 0] [-workers 0] [-data-dir dir]
 //	      [-fsync always|interval|never] [-fsync-interval 100ms]
 //	      [-checkpoint-interval 5m] [-max-body-bytes n]
-//	      [-pprof addr] [-metrics-interval d]
+//	      [-pprof addr] [-metrics-interval d] [-drain-timeout 5s]
+//
+// With -worker-id the process instead joins a replicated cluster as a worker
+// node (requires -data-dir): it serves the internal/cluster worker API —
+// role assignments, WAL-record replication, snapshots, and the per-group data
+// plane — and takes its orders from a coordinator (see cmd/coordinator).
+// Filter, depth, and shard flags must match across the whole cluster.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"nntstream/internal/cluster"
 	"nntstream/internal/core"
 	"nntstream/internal/gindex"
 	"nntstream/internal/graphgrep"
@@ -48,7 +55,9 @@ func main() {
 	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint cadence; 0 disables (checkpoint on shutdown only)")
 	maxBodyBytes := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body size cap (413 above it)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log engine stats at this interval (e.g. 30s); 0 disables")
+	workerID := flag.String("worker-id", "", "join a replicated cluster as this worker (requires -data-dir); serves the cluster worker API for a coordinator instead of the single-node API")
 	flag.Parse()
 
 	factory, err := filterFactory(*filterName, *depth)
@@ -56,6 +65,12 @@ func main() {
 		log.Fatal(err)
 	}
 	registry := obs.NewRegistry()
+
+	if *workerID != "" {
+		runWorker(*workerID, *addr, *dataDir, *fsync, *fsyncInterval,
+			*checkpointInterval, *drainTimeout, *shards, *workers, factory, registry)
+		return
+	}
 
 	var engine server.Engine
 	var durable *core.DurableEngine
@@ -106,19 +121,20 @@ func main() {
 		}
 	}()
 
+	var pprofServer *http.Server
 	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers; keep it off
+		// the API listener so profiling stays on an operator-only port.
+		// The generous write timeout leaves room for long CPU profiles.
+		pprofServer = &http.Server{
+			Addr:              *pprofAddr,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
-			// DefaultServeMux carries the net/http/pprof handlers; keep it off
-			// the API listener so profiling stays on an operator-only port.
-			// The generous write timeout leaves room for long CPU profiles.
-			pprofServer := &http.Server{
-				Addr:              *pprofAddr,
-				ReadHeaderTimeout: 5 * time.Second,
-				ReadTimeout:       30 * time.Second,
-				WriteTimeout:      2 * time.Minute,
-				IdleTimeout:       2 * time.Minute,
-			}
 			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof: %v", err)
 			}
@@ -142,9 +158,11 @@ func main() {
 
 	<-stop
 	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpServer.Shutdown(ctx); err != nil {
+	// Stop accepting new requests and let in-flight ones (a StepAll mid-write,
+	// a profile download) run to completion before the engine checkpoints.
+	if err := server.Drain(ctx, httpServer, pprofServer); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	if durable != nil {
@@ -155,6 +173,67 @@ func main() {
 		}
 		log.Printf("checkpoint written to %s", *dataDir)
 	}
+}
+
+// runWorker serves the cluster worker API until interrupted. The worker is
+// passive — the coordinator pushes roles and drives failover — so beyond
+// opening group engines lazily there is nothing to start here.
+func runWorker(id, addr, dataDir, fsync string, fsyncInterval, checkpointInterval,
+	drainTimeout time.Duration, shards, workers int, factory func() core.Filter,
+	registry *obs.Registry) {
+	if dataDir == "" {
+		log.Fatal("-worker-id requires -data-dir (replicas recover from their own WAL)")
+	}
+	policy, err := wal.ParseSyncPolicy(fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wk := cluster.NewWorker(id, dataDir, cluster.WorkerOptions{
+		Factory:            core.FilterFactory(factory),
+		Shards:             shards,
+		EvalWorkers:        workers,
+		Fsync:              policy,
+		FsyncInterval:      fsyncInterval,
+		CheckpointInterval: checkpointInterval,
+		Metrics:            cluster.NewMetrics(registry),
+		WALMetrics:         wal.NewMetrics(registry),
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", wk.Handler())
+	mux.HandleFunc("GET /v1/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rw.WriteHeader(http.StatusOK)
+		_ = registry.WritePrometheus(rw)
+	})
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		log.Printf("worker %s listening on %s (data in %s)", id, addr, dataDir)
+		if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := server.Drain(ctx, httpServer); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := wk.Close(); err != nil {
+		log.Fatalf("closing worker: %v", err)
+	}
+	log.Printf("group checkpoints written to %s", dataDir)
 }
 
 func filterFactory(name string, depth int) (func() core.Filter, error) {

@@ -1,0 +1,128 @@
+// Package cluster distributes the continuous-monitoring engine across
+// processes: a coordinator fronts the single-node HTTP API (/v1/...) and fans
+// work out to workers, each of which runs replicated durable engines.
+//
+// The unit of replication is the group: the workload is split into G groups,
+// each a complete DurableEngine replicated on RF workers (one primary, RF-1
+// replicas) placed by consistent hashing over the worker set. Query patterns
+// are broadcast to every group (so per-group query IDs align with the
+// single-node numbering); streams are distributed round-robin, giving global
+// stream IDs identical to a single-node engine fed in the same order
+// (global = local·G + group); StepAll ticks every group each timestamp.
+//
+// Replication is WAL shipping: the primary's engine fires OnCommit for every
+// committed record, and the worker forwards it synchronously to each replica,
+// which persists it at the same LSN and folds it in (core.ApplyRecord). A
+// replica that missed records reports a gap and is caught up from the
+// primary's log (core.RecordsSince), or — when a checkpoint compacted the gap
+// away — re-bootstrapped from a snapshot (core.SnapshotBytes /
+// core.InstallSnapshot).
+//
+// The coordinator heartbeats workers; a primary missing enough beats in a row
+// is declared dead and the most caught-up replica (applied LSN at or beyond
+// every write the coordinator acknowledged) is promoted, making failover
+// invisible to clients: the promoted engine's WAL holds the exact committed
+// history. When no replica is caught up the group degrades instead of
+// diverging — reads are served stale (marked with X-NNTStream-Stale) from the
+// best surviving replica, writes fail fast with 503 and Retry-After.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxGroups caps Config.Groups — a sanity bound, far above any deployment
+// this engine targets, that keeps global stream IDs comfortably in range.
+const MaxGroups = 1024
+
+// DefaultReplicationFactor keeps one replica per group.
+const DefaultReplicationFactor = 2
+
+// WorkerSpec names one worker process and where to reach it.
+type WorkerSpec struct {
+	// ID is the stable worker identity (ring placement hashes it, so it must
+	// not change across restarts).
+	ID string `json:"id"`
+	// Addr is the host:port of the worker's HTTP listener.
+	Addr string `json:"addr"`
+}
+
+// Config is the shared cluster topology: both the coordinator and the
+// kill-point harness derive placement from it, so they always agree.
+type Config struct {
+	// Workers is the full worker set.
+	Workers []WorkerSpec `json:"workers"`
+	// Groups is the number of replication groups (0 defaults to the worker
+	// count).
+	Groups int `json:"groups"`
+	// ReplicationFactor is how many workers hold each group, primary
+	// included (0 defaults to DefaultReplicationFactor; capped at the worker
+	// count).
+	ReplicationFactor int `json:"replication_factor"`
+}
+
+// Validate normalizes defaults and rejects impossible topologies.
+func (c *Config) Validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(c.Workers))
+	for _, w := range c.Workers {
+		if w.ID == "" || w.Addr == "" {
+			return fmt.Errorf("cluster: worker needs both id and addr (got id=%q addr=%q)", w.ID, w.Addr)
+		}
+		if seen[w.ID] {
+			return fmt.Errorf("cluster: duplicate worker id %q", w.ID)
+		}
+		seen[w.ID] = true
+	}
+	if c.Groups == 0 {
+		c.Groups = len(c.Workers)
+	}
+	if c.Groups < 1 || c.Groups > MaxGroups {
+		return fmt.Errorf("cluster: groups must be in [1, %d], got %d", MaxGroups, c.Groups)
+	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = DefaultReplicationFactor
+	}
+	if c.ReplicationFactor < 1 {
+		return fmt.Errorf("cluster: replication factor must be >= 1, got %d", c.ReplicationFactor)
+	}
+	if c.ReplicationFactor > len(c.Workers) {
+		c.ReplicationFactor = len(c.Workers)
+	}
+	return nil
+}
+
+// Addr resolves a worker ID to its address ("" when unknown).
+func (c *Config) Addr(id string) string {
+	for _, w := range c.Workers {
+		if w.ID == id {
+			return w.Addr
+		}
+	}
+	return ""
+}
+
+// Placement returns the RF worker IDs holding group g — the first is the
+// initial primary — computed from the consistent-hash ring over worker IDs.
+func (c *Config) Placement(g int) []string {
+	ids := make([]string, 0, len(c.Workers))
+	for _, w := range c.Workers {
+		ids = append(ids, w.ID)
+	}
+	sort.Strings(ids)
+	return newRing(ids, defaultVnodes).place(fmt.Sprintf("group-%d", g), c.ReplicationFactor)
+}
+
+// GroupOf maps a global stream ID to its replication group.
+func (c *Config) GroupOf(global int64) int { return int(global % int64(c.Groups)) }
+
+// LocalOf maps a global stream ID to the group-local stream ID.
+func (c *Config) LocalOf(global int64) int64 { return global / int64(c.Groups) }
+
+// GlobalOf maps a (group, local stream ID) pair back to the global ID.
+func (c *Config) GlobalOf(group int, local int64) int64 {
+	return local*int64(c.Groups) + int64(group)
+}

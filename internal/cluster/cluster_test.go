@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nntstream/internal/core"
+	"nntstream/internal/join"
+	"nntstream/internal/server"
+)
+
+// filterCases are the paper's NPV filters the cluster must not perturb.
+var filterCases = []struct {
+	name      string
+	factory   core.FilterFactory
+	canRemove bool
+}{
+	{"NL", func() core.Filter { return join.NewNL(join.DefaultDepth) }, false},
+	{"DSC", func() core.Filter { return join.NewDSC(join.DefaultDepth) }, true},
+	{"Skyline", func() core.Filter { return join.NewSkyline(join.DefaultDepth) }, true},
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Config{Workers: []WorkerSpec{{ID: "a", Addr: "a:1"}, {ID: "b", Addr: "b:1"}}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if cfg.Groups != 2 || cfg.ReplicationFactor != DefaultReplicationFactor {
+		t.Fatalf("defaults not applied: groups=%d rf=%d", cfg.Groups, cfg.ReplicationFactor)
+	}
+	dup := Config{Workers: []WorkerSpec{{ID: "a", Addr: "a:1"}, {ID: "a", Addr: "a:2"}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate worker id accepted")
+	}
+	over := Config{Workers: []WorkerSpec{{ID: "a", Addr: "a:1"}}, ReplicationFactor: 5}
+	if err := over.Validate(); err != nil || over.ReplicationFactor != 1 {
+		t.Fatalf("RF not capped at worker count: rf=%d err=%v", over.ReplicationFactor, err)
+	}
+}
+
+func TestStreamIDMapping(t *testing.T) {
+	cfg := Config{Workers: []WorkerSpec{{ID: "a", Addr: "a:1"}, {ID: "b", Addr: "b:1"}, {ID: "c", Addr: "c:1"}}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for global := int64(0); global < 20; global++ {
+		g := cfg.GroupOf(global)
+		local := cfg.LocalOf(global)
+		if back := cfg.GlobalOf(g, local); back != global {
+			t.Fatalf("roundtrip: global %d → (g=%d, local=%d) → %d", global, g, local, back)
+		}
+	}
+	// Sequential global IDs fill each group's local sequence without holes —
+	// the property that makes cluster IDs line up with a single-node run.
+	next := make(map[int]int64)
+	for global := int64(0); global < 30; global++ {
+		g := cfg.GroupOf(global)
+		if cfg.LocalOf(global) != next[g] {
+			t.Fatalf("global %d lands at local %d in group %d, want %d",
+				global, cfg.LocalOf(global), g, next[g])
+		}
+		next[g]++
+	}
+}
+
+// TestClusterMatchesSingleNode is the no-fault baseline: a 3-worker cluster
+// answers exactly like one engine fed the same operations.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	for _, fc := range filterCases {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", fc.name, shards), func(t *testing.T) {
+				tc := newTestCluster(t, fc.factory, shards, 3, 2, 2)
+				ref := newRefEngine(t, fc.factory, shards)
+				for i, op := range standardWorkload(fc.canRemove) {
+					if status := tc.applyOp(op); status < 200 || status > 299 {
+						t.Fatalf("op %d (%s): status %d", i, op.kind, status)
+					}
+					ref.apply(op)
+				}
+				got, hdr := tc.clusterCandidates()
+				if hdr.Get(HeaderStale) != "" {
+					t.Fatal("healthy cluster served a stale read")
+				}
+				if want := ref.candidates(); !wirePairsEqual(got, want) {
+					t.Fatalf("cluster diverged from single node:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestKillPrimaryAtEveryBoundary is the tentpole harness: for every
+// WAL-record boundary in the workload (each client write appends exactly one
+// record per group), kill the worker currently leading group 0 right after
+// that write commits, let the failure detector promote, finish the workload,
+// and require the final answers bit-identical to the single-node reference.
+// RF=2 means the promoted replica's WAL is the only surviving copy of the
+// group history — any lost or reordered record shows up as a divergence.
+func TestKillPrimaryAtEveryBoundary(t *testing.T) {
+	for _, fc := range filterCases {
+		for _, shards := range []int{1, 3} {
+			ops := standardWorkload(fc.canRemove)
+			for kill := 1; kill <= len(ops); kill++ {
+				t.Run(fmt.Sprintf("%s/shards=%d/kill=%d", fc.name, shards, kill), func(t *testing.T) {
+					tc := newTestCluster(t, fc.factory, shards, 3, 2, 2)
+					ref := newRefEngine(t, fc.factory, shards)
+					for i, op := range ops {
+						if status := tc.applyOp(op); status < 200 || status > 299 {
+							t.Fatalf("op %d (%s): status %d", i, op.kind, status)
+						}
+						ref.apply(op)
+						if i+1 == kill {
+							victim := tc.primaryOf(0)
+							tc.kill(victim)
+							tc.pollUntilDead(victim)
+						}
+					}
+					if fails := tc.coord.Metrics().Failovers.Value(); fails == 0 {
+						t.Fatal("no failover recorded after killing a primary")
+					}
+					got, _ := tc.clusterCandidates()
+					if want := ref.candidates(); !wirePairsEqual(got, want) {
+						t.Fatalf("post-failover answers diverged:\n got %v\nwant %v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKilledPrimaryRejoins kills a primary mid-workload, finishes it, then
+// restarts the dead worker from its surviving directory: the coordinator
+// must re-bootstrap it (its WAL is stale history now) and resume replicating
+// to it, ending with every worker converged.
+func TestKilledPrimaryRejoins(t *testing.T) {
+	factory := filterCases[0].factory
+	tc := newTestCluster(t, factory, 1, 3, 3, 2)
+	ref := newRefEngine(t, factory, 1)
+	ops := standardWorkload(false)
+	half := len(ops) / 2
+	for i, op := range ops[:half] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %d: status %d", i, status)
+		}
+		ref.apply(op)
+	}
+	victim := tc.primaryOf(0)
+	tc.kill(victim)
+	tc.pollUntilDead(victim)
+	for i, op := range ops[half:] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %d after failover: status %d", half+i, status)
+		}
+		ref.apply(op)
+	}
+
+	tc.startWorker(victim)
+	tc.coord.PollOnce(context.Background()) // sees it alive again, rejoins + syncs
+	tc.coord.SyncAll(context.Background())
+
+	got, _ := tc.clusterCandidates()
+	if want := ref.candidates(); !wirePairsEqual(got, want) {
+		t.Fatalf("post-rejoin answers diverged:\n got %v\nwant %v", got, want)
+	}
+	if installs := tc.coord.Metrics().SnapshotInstalls.Value(); installs == 0 {
+		t.Fatal("rejoin did not re-bootstrap the returned worker")
+	}
+	// Every replica of every group must sit at the same applied LSN as its
+	// primary once the dust settles.
+	assertReplicasConverged(t, tc)
+}
+
+// assertReplicasConverged checks that all live holders of each group report
+// the same applied LSN.
+func assertReplicasConverged(t *testing.T, tc *testCluster) {
+	t.Helper()
+	lsn := make(map[int]map[uint64]bool)
+	for id, w := range tc.workers {
+		var st WireStatus
+		if _, err := tc.net.Do(context.Background(), id, http.MethodGet, "/cluster/status", nil, &st); err != nil {
+			continue // dead worker
+		}
+		_ = w
+		for _, gs := range st.Groups {
+			if lsn[gs.Group] == nil {
+				lsn[gs.Group] = make(map[uint64]bool)
+			}
+			lsn[gs.Group][gs.AppliedLSN] = true
+		}
+	}
+	for g, set := range lsn {
+		if len(set) != 1 {
+			t.Fatalf("group %d holders disagree on applied LSN: %v", g, set)
+		}
+	}
+}
+
+// TestRandomizedPartitionHeal runs a seeded schedule of writes interleaved
+// with partitioning and healing workers; after the final heal the cluster
+// must answer exactly like the single-node reference and all replicas must
+// converge. Writes that fail during a disruption are retried until the
+// idempotent broadcast lands — the client-visible contract.
+func TestRandomizedPartitionHeal(t *testing.T) {
+	for _, fc := range filterCases {
+		t.Run(fc.name, func(t *testing.T) {
+			tc := newTestCluster(t, fc.factory, 1, 3, 3, 2)
+			ref := newRefEngine(t, fc.factory, 1)
+			rng := rand.New(rand.NewSource(42))
+			ctx := context.Background()
+
+			heal := func() {
+				tc.fault.Heal()
+				for i := 0; i < 4; i++ {
+					tc.coord.PollOnce(ctx)
+				}
+				tc.coord.SyncAll(ctx)
+			}
+			mustApply := func(op clusterOp) {
+				for attempt := 0; attempt < 10; attempt++ {
+					if status := tc.applyOp(op); status/100 == 2 {
+						ref.apply(op)
+						return
+					}
+					// Writes bounce while a partition is being detected;
+					// detection + promotion unblocks them.
+					tc.coord.PollOnce(ctx)
+					if attempt == 6 {
+						heal()
+					}
+				}
+				t.Fatalf("op %s never succeeded", op.kind)
+			}
+
+			for _, op := range standardWorkload(false)[:6] { // queries + streams
+				mustApply(op)
+			}
+			streams := 3
+			for round := 0; round < 30; round++ {
+				switch r := rng.Intn(10); {
+				case r < 2: // partition a random worker
+					id := fmt.Sprintf("w%d", rng.Intn(3))
+					tc.fault.Partition(id)
+					for i := 0; i < 3; i++ {
+						tc.coord.PollOnce(ctx)
+					}
+				case r < 4:
+					heal()
+				default: // a step touching a random stream
+					sid := rng.Intn(streams)
+					u := 100 + round
+					mustApply(clusterOp{kind: "step", changes: map[string][]server.WireOp{
+						fmt.Sprintf("%d", sid): {ins(u, u%3+1, u+1, (u+1)%3+1, 2)},
+					}})
+				}
+			}
+			heal()
+
+			got, hdr := tc.clusterCandidates()
+			if hdr.Get(HeaderStale) != "" {
+				t.Fatal("healed cluster still serving stale reads")
+			}
+			if want := ref.candidates(); !wirePairsEqual(got, want) {
+				t.Fatalf("post-heal answers diverged:\n got %v\nwant %v", got, want)
+			}
+			assertReplicasConverged(t, tc)
+		})
+	}
+}
+
+// TestDegradedMode drives a group into the no-safe-replica corner: the
+// replica is partitioned (falls behind the acknowledged watermark), then the
+// primary dies. The coordinator must refuse writes with 503 + Retry-After,
+// serve reads stale with explicit headers, and recover cleanly when the old
+// primary returns.
+func TestDegradedMode(t *testing.T) {
+	factory := filterCases[0].factory
+	tc := newTestCluster(t, factory, 1, 2, 1, 2) // one group on two workers
+	ref := newRefEngine(t, factory, 1)
+	ctx := context.Background()
+
+	setup := standardWorkload(false)[:4] // 3 queries + 1 stream
+	for _, op := range setup {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("setup op %s: status %d", op.kind, status)
+		}
+		ref.apply(op)
+	}
+
+	primary := tc.primaryOf(0)
+	replica := "w0"
+	if primary == "w0" {
+		replica = "w1"
+	}
+
+	// Cut the replica off and commit more writes: the acknowledged watermark
+	// moves past anything the replica holds.
+	tc.fault.Partition(replica)
+	behindOp := clusterOp{kind: "step", changes: map[string][]server.WireOp{
+		"0": {ins(50, 2, 51, 3, 5)},
+	}}
+	if status := tc.applyOp(behindOp); status/100 != 2 {
+		t.Fatalf("write with partitioned replica: status %d", status)
+	}
+	ref.apply(behindOp)
+	if tc.coord.Metrics().RecordsShipped.Value() == 0 {
+		t.Fatal("no records were ever shipped to the replica")
+	}
+
+	// Primary dies; the lagging replica is not promotable.
+	tc.fault.Heal(replica)
+	tc.kill(primary)
+	tc.pollUntilDead(primary)
+
+	if tc.coord.Metrics().Failovers.Value() != 0 {
+		t.Fatal("coordinator promoted a replica that misses acknowledged writes")
+	}
+	status, hdr := tc.do(http.MethodPost, "/v1/step", stepRequest{}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded write: status %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("degraded write rejection missing Retry-After")
+	}
+	if tc.coord.Metrics().RejectedWrites.Value() == 0 {
+		t.Fatal("rejected write not counted")
+	}
+
+	pairs, hdr := tc.clusterCandidates()
+	if hdr.Get(HeaderStale) != "true" {
+		t.Fatal("degraded read not marked stale")
+	}
+	if hdr.Get(HeaderStaleLag) == "" {
+		t.Fatal("stale read missing lag header")
+	}
+	if tc.coord.Metrics().StaleReads.Value() == 0 {
+		t.Fatal("stale read not counted")
+	}
+	if tc.coord.Metrics().ReplicationLag.Value() == 0 {
+		t.Fatal("lagging replica not reflected in the replication-lag gauge")
+	}
+	_ = pairs // stale contents are the replica's last consistent view
+
+	// The old primary returns with its WAL intact: the group heals, writes
+	// resume, and the answers line up with the reference again.
+	tc.startWorker(primary)
+	for i := 0; i < 3; i++ {
+		tc.coord.PollOnce(ctx)
+	}
+	tc.coord.SyncAll(ctx)
+	finalOp := clusterOp{kind: "step", changes: map[string][]server.WireOp{
+		"0": {ins(51, 3, 52, 1, 4)},
+	}}
+	if status := tc.applyOp(finalOp); status/100 != 2 {
+		t.Fatalf("write after primary returned: status %d", status)
+	}
+	ref.apply(finalOp)
+	got, hdr := tc.clusterCandidates()
+	if hdr.Get(HeaderStale) != "" {
+		t.Fatal("recovered cluster still stale")
+	}
+	if want := ref.candidates(); !wirePairsEqual(got, want) {
+		t.Fatalf("post-recovery answers diverged:\n got %v\nwant %v", got, want)
+	}
+	// With every replica caught up, the next poll zeroes the lag gauge.
+	tc.coord.PollOnce(ctx)
+	if lag := tc.coord.Metrics().ReplicationLag.Value(); lag != 0 {
+		t.Fatalf("replication lag %v after full recovery, want 0", lag)
+	}
+}
+
+// TestClusterMetricsExposition checks the coordinator's /v1/metrics surface
+// carries the cluster instruments after a failover exercised them.
+func TestClusterMetricsExposition(t *testing.T) {
+	tc := newTestCluster(t, filterCases[0].factory, 1, 3, 2, 2)
+	for _, op := range standardWorkload(false)[:6] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %s: status %d", op.kind, status)
+		}
+	}
+	victim := tc.primaryOf(0)
+	tc.kill(victim)
+	tc.pollUntilDead(victim)
+
+	req := httptest.NewRequest(http.MethodGet, "http://c/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	tc.coord.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, name := range []string{
+		"nntstream_cluster_workers_alive",
+		"nntstream_cluster_failovers_total",
+		"nntstream_cluster_heartbeat_misses_total",
+		"nntstream_cluster_records_shipped_total",
+		"nntstream_cluster_replication_lag_records",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("metrics exposition missing %s:\n%s", name, body)
+		}
+	}
+	m := tc.coord.Metrics()
+	if m.Failovers.Value() == 0 || m.HeartbeatMisses.Value() == 0 || m.RecordsShipped.Value() == 0 {
+		t.Fatalf("cluster counters not exercised: failovers=%d misses=%d shipped=%d",
+			m.Failovers.Value(), m.HeartbeatMisses.Value(), m.RecordsShipped.Value())
+	}
+}
+
+// TestHeartbeatLoop covers the background detection path end to end with a
+// real ticker: kill a primary, wait for the loop to promote, write again.
+func TestHeartbeatLoop(t *testing.T) {
+	tc := newTestCluster(t, filterCases[0].factory, 1, 3, 2, 2)
+	// Re-arm the coordinator with a fast loop (the harness default is manual).
+	tc.coord.Stop()
+	coord, err := NewCoordinator(tc.cfg, CoordinatorOptions{
+		Transport:         &RetryTransport{Next: tc.fault, Policy: instantPolicy(), Cooldown: time.Nanosecond},
+		MissThreshold:     2,
+		HeartbeatInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+	tc.coord = coord
+
+	for _, op := range standardWorkload(false)[:4] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %s: status %d", op.kind, status)
+		}
+	}
+	victim := tc.primaryOf(0)
+	tc.kill(victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Metrics().Failovers.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop never promoted a replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if status := tc.applyOp(clusterOp{kind: "step", changes: map[string][]server.WireOp{
+		"0": {ins(60, 1, 61, 2, 3)},
+	}}); status/100 != 2 {
+		t.Fatalf("write after loop-driven failover: status %d", status)
+	}
+}

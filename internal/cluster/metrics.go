@@ -1,0 +1,77 @@
+package cluster
+
+import "nntstream/internal/obs"
+
+// Metrics are the cluster-layer instruments, registered under the
+// nntstream_cluster_* namespace. The coordinator and worker each own one
+// (the counters they never touch simply stay zero).
+type Metrics struct {
+	// WorkersAlive is the coordinator's current count of heartbeating workers.
+	WorkersAlive *obs.Gauge
+	// DegradedGroups counts groups currently serving stale reads only.
+	DegradedGroups *obs.Gauge
+	// ReplicationLag is the fleet-wide backlog in WAL records: for every live
+	// replica, its group's acknowledged LSN minus the applied LSN it last
+	// reported, summed. Zero when every replica is current.
+	ReplicationLag *obs.Gauge
+	// HeartbeatMisses counts failed worker status polls.
+	HeartbeatMisses *obs.Counter
+	// Failovers counts replica promotions.
+	Failovers *obs.Counter
+	// StaleReads counts read responses served from a lagging replica.
+	StaleReads *obs.Counter
+	// RejectedWrites counts writes refused because a group was unwritable.
+	RejectedWrites *obs.Counter
+	// RecordsShipped counts WAL records delivered to replicas.
+	RecordsShipped *obs.Counter
+	// ShipFailures counts replica deliveries that failed (the replica is then
+	// marked lagging until a sync round catches it up).
+	ShipFailures *obs.Counter
+	// CatchupRecords counts records replayed to lagging replicas by sync
+	// rounds (distinct from the in-band RecordsShipped deliveries).
+	CatchupRecords *obs.Counter
+	// SnapshotInstalls counts replica bootstraps via snapshot transfer.
+	SnapshotInstalls *obs.Counter
+	// RPCRetries counts re-attempted transport calls.
+	RPCRetries *obs.Counter
+	// BreakerOpens counts circuit-breaker trips (a target refused fast).
+	BreakerOpens *obs.Counter
+}
+
+// newDetachedRegistry backs a Metrics nobody scrapes (workers and tests that
+// don't wire one up still get live counters).
+func newDetachedRegistry() *obs.Registry {
+	return obs.NewRegistry()
+}
+
+// NewMetrics registers the cluster instruments on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		WorkersAlive: r.Gauge("nntstream_cluster_workers_alive",
+			"Workers currently passing heartbeats."),
+		DegradedGroups: r.Gauge("nntstream_cluster_degraded_groups",
+			"Groups with no writable primary (stale reads only)."),
+		ReplicationLag: r.Gauge("nntstream_cluster_replication_lag_records",
+			"Acknowledged-minus-applied WAL records summed over live replicas."),
+		HeartbeatMisses: r.Counter("nntstream_cluster_heartbeat_misses_total",
+			"Failed worker status polls."),
+		Failovers: r.Counter("nntstream_cluster_failovers_total",
+			"Replica promotions after primary failure."),
+		StaleReads: r.Counter("nntstream_cluster_stale_reads_total",
+			"Reads served from a lagging replica of a degraded group."),
+		RejectedWrites: r.Counter("nntstream_cluster_rejected_writes_total",
+			"Writes rejected with 503 because a group was unwritable."),
+		RecordsShipped: r.Counter("nntstream_cluster_records_shipped_total",
+			"WAL records delivered to replicas in-band."),
+		ShipFailures: r.Counter("nntstream_cluster_ship_failures_total",
+			"Failed in-band replica deliveries."),
+		CatchupRecords: r.Counter("nntstream_cluster_catchup_records_total",
+			"WAL records replayed to lagging replicas by sync rounds."),
+		SnapshotInstalls: r.Counter("nntstream_cluster_snapshot_installs_total",
+			"Replica bootstraps via snapshot transfer."),
+		RPCRetries: r.Counter("nntstream_cluster_rpc_retries_total",
+			"Re-attempted cluster RPCs."),
+		BreakerOpens: r.Counter("nntstream_cluster_breaker_opens_total",
+			"Circuit-breaker trips on an unreachable target."),
+	}
+}

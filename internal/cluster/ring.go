@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is how many ring points each worker contributes. More vnodes
+// smooth the load split; 64 keeps the spread within a few percent for small
+// clusters while the ring stays tiny.
+const defaultVnodes = 64
+
+// ring is a consistent-hash ring over worker IDs. Placement walks clockwise
+// from the key's hash collecting distinct workers, so adding or removing one
+// worker only moves the groups adjacent to its points — the usual reason to
+// hash rather than take key mod N.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds the ring from worker IDs (callers pass them sorted so the
+// ring is identical regardless of configuration order).
+func newRing(workers []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodes)}
+	for _, w := range workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", w, v)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.worker < b.worker // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+// place returns the first n distinct workers clockwise from key's hash.
+func (r *ring) place(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hash64(key)
+	})
+	var out []string
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.worker] {
+			continue
+		}
+		seen[p.worker] = true
+		out = append(out, p.worker)
+	}
+	return out
+}

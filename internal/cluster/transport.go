@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nntstream/internal/retry"
+)
+
+// Transport is the single RPC primitive every inter-node call goes through:
+// a JSON request/response exchange with one worker. Keeping the surface to
+// one method lets the retry, circuit-breaking, and fault-injection layers
+// stack as plain wrappers, each ignorant of the RPC vocabulary above it.
+type Transport interface {
+	// Do sends `in` (nil for no body) as JSON via `method` to
+	// http://addr/path and decodes the response into `out` (nil to discard).
+	// Non-2xx responses decode the server's error body into a *StatusError.
+	Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error)
+}
+
+// StatusError is a response the target produced deliberately (as opposed to
+// a transport failure reaching it). Retry layers treat most of them as
+// permanent: re-sending a request the server rejected cannot help, except
+// for the gateway statuses that signal transient unavailability.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: remote status %d: %s", e.Code, e.Msg)
+}
+
+// retryableStatus reports whether a status code signals a transient
+// condition worth re-attempting.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// DefaultRPCTimeout bounds one transport attempt; nothing in the cluster
+// waits longer than this on a single unresponsive peer.
+const DefaultRPCTimeout = 5 * time.Second
+
+// HTTPTransport is the real network transport.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Timeout bounds each call when the caller's context carries no earlier
+	// deadline (default DefaultRPCTimeout).
+	Timeout time.Duration
+}
+
+func (t *HTTPTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRPCTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding %s %s request: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s %s on %s: %w", method, path, addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var remote struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&remote) == nil && remote.Error != "" {
+			msg = remote.Error
+		}
+		return resp.Header, &StatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.Header, fmt.Errorf("cluster: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.Header, nil
+}
+
+// ErrCircuitOpen reports a call refused locally because the target's breaker
+// is open — the fast-fail that keeps a dead worker from stalling every
+// caller for a full timeout+retry cycle.
+var ErrCircuitOpen = errors.New("cluster: circuit open")
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is how many consecutive failed calls open a
+	// target's circuit.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open circuit refuses calls
+	// before letting a probe through.
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// breaker is one target's circuit state.
+type breaker struct {
+	failures  int
+	openUntil time.Time
+	probing   bool // half-open: one probe is in flight
+}
+
+// RetryTransport wraps a Transport with capped-exponential retries and a
+// per-target circuit breaker. Only transport-level failures and gateway
+// statuses are retried; anything the target decided on purpose is returned
+// as-is. All deadlines come from the inner transport and the caller's
+// context, so a call through RetryTransport is bounded by
+// attempts × per-attempt timeout plus backoff sleeps.
+type RetryTransport struct {
+	// Next is the wrapped transport.
+	Next Transport
+	// Policy shapes attempts and backoff (zero value = retry defaults).
+	Policy retry.Policy
+	// Threshold and Cooldown tune the breaker (zero = package defaults).
+	Threshold int
+	Cooldown  time.Duration
+	// Now is injectable time for tests (time.Now when nil).
+	Now func() time.Time
+	// Metrics counts retries and breaker trips (may be nil).
+	Metrics *Metrics
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+}
+
+func (t *RetryTransport) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// admit consults addr's breaker: proceed, or fail fast with ErrCircuitOpen.
+func (t *RetryTransport) admit(addr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.breakers == nil {
+		t.breakers = make(map[string]*breaker)
+	}
+	b := t.breakers[addr]
+	if b == nil {
+		b = &breaker{}
+		t.breakers[addr] = b
+	}
+	threshold := t.Threshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if b.failures < threshold {
+		return nil
+	}
+	if t.now().Before(b.openUntil) {
+		return fmt.Errorf("%w: %s until %s", ErrCircuitOpen, addr, b.openUntil.Format(time.RFC3339))
+	}
+	// Half-open: admit a single probe; concurrent callers keep failing fast
+	// until the probe settles the circuit one way or the other.
+	if b.probing {
+		return fmt.Errorf("%w: %s (probe in flight)", ErrCircuitOpen, addr)
+	}
+	b.probing = true
+	return nil
+}
+
+// settle records the outcome of a call admitted through the breaker.
+func (t *RetryTransport) settle(addr string, failed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[addr]
+	if b == nil {
+		return
+	}
+	b.probing = false
+	if !failed {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	threshold := t.Threshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if b.failures >= threshold {
+		cooldown := t.Cooldown
+		if cooldown <= 0 {
+			cooldown = DefaultBreakerCooldown
+		}
+		b.openUntil = t.now().Add(cooldown)
+		if t.Metrics != nil {
+			t.Metrics.BreakerOpens.Inc()
+		}
+	}
+}
+
+func (t *RetryTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	if err := t.admit(addr); err != nil {
+		return nil, err
+	}
+	var hdr http.Header
+	attempt := 0
+	err := t.Policy.Do(ctx, func(ctx context.Context) error {
+		attempt++
+		if attempt > 1 && t.Metrics != nil {
+			t.Metrics.RPCRetries.Inc()
+		}
+		h, err := t.Next.Do(ctx, addr, method, path, in, out)
+		if err == nil {
+			hdr = h
+			return nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) && !retryableStatus(se.Code) {
+			// The target answered and meant it; retrying cannot change it.
+			return retry.Permanent(err)
+		}
+		return err
+	})
+	// A deliberate non-gateway response is a live target: it does not count
+	// against the breaker.
+	var se *StatusError
+	deliberate := errors.As(err, &se) && !retryableStatus(se.Code)
+	t.settle(addr, err != nil && !deliberate)
+	return hdr, err
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nntstream/internal/obs"
+	"nntstream/internal/retry"
+)
+
+// scriptedTransport fails a fixed number of times before succeeding.
+type scriptedTransport struct {
+	failures int // remaining failures to serve
+	calls    int
+	err      error
+}
+
+func (s *scriptedTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	s.calls++
+	if s.failures > 0 {
+		s.failures--
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, fmt.Errorf("scripted transport failure")
+	}
+	return http.Header{}, nil
+}
+
+func TestRetryTransportRetriesTransientFailures(t *testing.T) {
+	inner := &scriptedTransport{failures: 2}
+	metrics := NewMetrics(obs.NewRegistry())
+	rt := &RetryTransport{Next: inner, Policy: instantPolicy(), Metrics: metrics}
+	if _, err := rt.Do(context.Background(), "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("retryable failure not retried to success: %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("calls = %d, want 3", inner.calls)
+	}
+	if metrics.RPCRetries.Value() != 2 {
+		t.Fatalf("retries counted = %d, want 2", metrics.RPCRetries.Value())
+	}
+}
+
+func TestRetryTransportDeliberateResponseIsPermanent(t *testing.T) {
+	inner := &scriptedTransport{failures: 10, err: &StatusError{Code: http.StatusConflict, Msg: "no"}}
+	rt := &RetryTransport{Next: inner, Policy: instantPolicy()}
+	_, err := rt.Do(context.Background(), "a:1", http.MethodGet, "/x", nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusConflict {
+		t.Fatalf("err = %v, want the 409 back", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("a deliberate response was retried: %d calls", inner.calls)
+	}
+	// Deliberate responses are a live target: the breaker must stay closed.
+	inner.failures = 0
+	if _, err := rt.Do(context.Background(), "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("breaker tripped on deliberate responses: %v", err)
+	}
+}
+
+func TestRetryTransportGatewayStatusIsRetryable(t *testing.T) {
+	inner := &scriptedTransport{failures: 1, err: &StatusError{Code: http.StatusServiceUnavailable, Msg: "warming up"}}
+	rt := &RetryTransport{Next: inner, Policy: instantPolicy()}
+	if _, err := rt.Do(context.Background(), "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("503 not retried: %v", err)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("calls = %d, want 2", inner.calls)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	inner := &scriptedTransport{failures: 1 << 30}
+	metrics := NewMetrics(obs.NewRegistry())
+	rt := &RetryTransport{
+		Next:    inner,
+		Policy:  retry.Policy{MaxAttempts: 1, Sleep: func(ctx context.Context, d time.Duration) error { return nil }},
+		Now:     func() time.Time { return now },
+		Metrics: metrics,
+	}
+	ctx := context.Background()
+
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if _, err := rt.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); err == nil {
+			t.Fatal("scripted failure returned nil")
+		}
+	}
+	if metrics.BreakerOpens.Value() != 1 {
+		t.Fatalf("breaker opens = %d, want 1", metrics.BreakerOpens.Value())
+	}
+	calls := inner.calls
+	if _, err := rt.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit admitted a call: %v", err)
+	}
+	if inner.calls != calls {
+		t.Fatal("fast-fail still reached the inner transport")
+	}
+	// Another address is unaffected.
+	inner2 := inner.calls
+	rt.Do(ctx, "b:1", http.MethodGet, "/x", nil, nil)
+	if inner.calls != inner2+1 {
+		t.Fatal("breaker state leaked across addresses")
+	}
+
+	// After the cooldown, one probe goes through; when it succeeds the
+	// circuit closes again.
+	now = now.Add(DefaultBreakerCooldown + time.Second)
+	inner.failures = 0
+	if _, err := rt.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := rt.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("circuit did not close after successful probe: %v", err)
+	}
+}
+
+func TestFaultTransportPartitionAndDrop(t *testing.T) {
+	inner := &scriptedTransport{}
+	ft := NewFaultTransport(inner, 7)
+	ctx := context.Background()
+
+	ft.Partition("a:1")
+	if !ft.Partitioned("a:1") {
+		t.Fatal("partition not recorded")
+	}
+	if _, err := ft.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned call err = %v, want ErrInjected", err)
+	}
+	if _, err := ft.Do(ctx, "b:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("unpartitioned address failed: %v", err)
+	}
+	ft.Heal()
+	if _, err := ft.Do(ctx, "a:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("healed address failed: %v", err)
+	}
+
+	ft.SetDrop(1)
+	if _, err := ft.Do(ctx, "b:1", http.MethodGet, "/x", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("p=1 drop err = %v, want ErrInjected", err)
+	}
+	ft.SetDrop(0)
+
+	var slept time.Duration
+	ft.SetSleep(func(d time.Duration) { slept = d })
+	ft.SetDelay(25 * time.Millisecond)
+	if _, err := ft.Do(ctx, "b:1", http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatalf("delayed call failed: %v", err)
+	}
+	if slept != 25*time.Millisecond {
+		t.Fatalf("slept %v, want 25ms", slept)
+	}
+}
+
+// TestHTTPTransportRoundTrip drives the real HTTP transport against a real
+// listener hosting a worker handler — the only cluster test that touches
+// sockets, covering the encode/decode and error-body paths memNet mirrors.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	w := NewWorker("w0", t.TempDir(), WorkerOptions{
+		Factory: filterCases[0].factory,
+	})
+	defer w.Close()
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	ht := &HTTPTransport{}
+	ctx := context.Background()
+
+	if _, err := ht.Do(ctx, addr, http.MethodPost, "/cluster/groups/0/role",
+		WireRole{Role: RolePrimary}, nil); err != nil {
+		t.Fatalf("role assignment over HTTP: %v", err)
+	}
+	var st WireStatus
+	hdr, err := ht.Do(ctx, addr, http.MethodGet, "/cluster/status", nil, &st)
+	if err != nil {
+		t.Fatalf("status over HTTP: %v", err)
+	}
+	_ = hdr
+	if st.ID != "w0" || len(st.Groups) != 1 || st.Groups[0].Role != RolePrimary {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// A deliberate error decodes into a StatusError with the server's text.
+	_, err = ht.Do(ctx, addr, http.MethodPost, "/cluster/groups/0/replicate", WireReplicate{}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusConflict {
+		t.Fatalf("replicate to a primary: %v, want 409 StatusError", err)
+	}
+	if !strings.Contains(se.Msg, "not a replica") {
+		t.Fatalf("error body not decoded: %q", se.Msg)
+	}
+
+	// Unreachable addresses surface as transport errors, not statuses.
+	srv.Close()
+	if _, err := ht.Do(ctx, addr, http.MethodGet, "/cluster/status", nil, &st); err == nil {
+		t.Fatal("closed listener answered")
+	} else if errors.As(err, &se) {
+		t.Fatalf("transport failure mistaken for a deliberate response: %v", err)
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	ids := []string{"w0", "w1", "w2", "w3", "w4"}
+	r := newRing(ids, defaultVnodes)
+	for g := 0; g < 50; g++ {
+		key := fmt.Sprintf("group-%d", g)
+		placed := r.place(key, 3)
+		if len(placed) != 3 {
+			t.Fatalf("group %d placed on %d workers, want 3", g, len(placed))
+		}
+		seen := make(map[string]bool)
+		for _, id := range placed {
+			if seen[id] {
+				t.Fatalf("group %d placed twice on %s", g, id)
+			}
+			seen[id] = true
+		}
+		again := r.place(key, 3)
+		for i := range placed {
+			if placed[i] != again[i] {
+				t.Fatalf("placement not deterministic for %s: %v vs %v", key, placed, again)
+			}
+		}
+	}
+
+	// Consistent hashing: dropping one worker must not reshuffle groups that
+	// never touched it.
+	smaller := newRing([]string{"w0", "w1", "w2", "w3"}, defaultVnodes)
+	moved := 0
+	for g := 0; g < 50; g++ {
+		key := fmt.Sprintf("group-%d", g)
+		before := r.place(key, 1)[0]
+		after := smaller.place(key, 1)[0]
+		if before != "w4" && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d groups moved off surviving workers when w4 left", moved)
+	}
+
+	// RF above the worker count returns everyone.
+	if got := newRing([]string{"a", "b"}, 8).place("k", 5); len(got) != 2 {
+		t.Fatalf("overprovisioned RF placed %d workers, want 2", len(got))
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"nntstream/internal/server"
+	"nntstream/internal/wal"
+)
+
+// HeaderLSN is the response header every worker data-plane and replication
+// response carries: the group engine's applied LSN after the operation. The
+// coordinator folds it into the group's acknowledged watermark, which is what
+// makes promotion safe (only replicas at or beyond it are candidates).
+const HeaderLSN = "X-NNTStream-LSN"
+
+// HeaderStale marks a read served from a lagging replica of a degraded group.
+const HeaderStale = "X-NNTStream-Stale"
+
+// HeaderStaleLag carries the number of acknowledged records the stale reader
+// is known to be missing (summed across degraded groups).
+const HeaderStaleLag = "X-NNTStream-Stale-Lag"
+
+// Worker roles.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// WireGroupStatus is one group's state in a worker status report.
+type WireGroupStatus struct {
+	Group      int    `json:"group"`
+	Role       string `json:"role"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	Queries    int    `json:"queries"`
+	Streams    int    `json:"streams"`
+	Timestamps int    `json:"timestamps"`
+}
+
+// WireStatus is a worker heartbeat response.
+type WireStatus struct {
+	ID     string            `json:"id"`
+	Groups []WireGroupStatus `json:"groups"`
+}
+
+// WireRole assigns a group role to a worker. Replicas (primary role only)
+// are the addresses the primary ships committed records to.
+type WireRole struct {
+	Role     string   `json:"role"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// WireReplicate ships WAL records (EncodeRecord payloads, base64) from a
+// primary to a replica. An empty record list is a watermark probe: the
+// response reports the replica's applied LSN without applying anything.
+type WireReplicate struct {
+	Records []string `json:"records"`
+}
+
+// WireReplicateResponse reports the replica's applied LSN after the batch.
+// Gap means the first unapplied record was beyond applied+1: the replica
+// needs a catch-up (records or snapshot) before it can accept more.
+type WireReplicateResponse struct {
+	Applied uint64 `json:"applied"`
+	Gap     bool   `json:"gap,omitempty"`
+}
+
+// WireRecords is a catch-up feed: the records beyond the requested LSN, or
+// Compacted when the primary's log no longer holds them (snapshot required).
+type WireRecords struct {
+	Records   []string `json:"records,omitempty"`
+	Compacted bool     `json:"compacted,omitempty"`
+}
+
+// WireSnapshot transfers a serialized engine snapshot (JSON base64-encodes
+// the byte slice).
+type WireSnapshot struct {
+	Data []byte `json:"data"`
+}
+
+// WireAddQuery broadcasts a query registration to a group. Expect is the
+// query ID the coordinator is assigning; a group whose engine has already
+// moved past it treats the request as a retry of an applied broadcast and
+// answers idempotently.
+type WireAddQuery struct {
+	Graph  server.WireGraph `json:"graph"`
+	Expect int              `json:"expect"`
+}
+
+// WireAddStream registers a stream on a group; Expect is the group-local
+// stream ID the coordinator's round-robin placement implies.
+type WireAddStream struct {
+	Graph  server.WireGraph `json:"graph"`
+	Expect int              `json:"expect"`
+}
+
+// WireStep advances one global timestamp on a group. Seq is the global step
+// count before this step — the idempotency key — and Changes is keyed by
+// group-local stream ID.
+type WireStep struct {
+	Seq     int                        `json:"seq"`
+	Changes map[string][]server.WireOp `json:"changes"`
+}
+
+// WirePairs carries group-local candidate pairs.
+type WirePairs struct {
+	Pairs []server.WirePair `json:"pairs"`
+}
+
+// WireID is a registration response.
+type WireID struct {
+	ID int `json:"id"`
+}
+
+// WireRemoved reports whether a query removal found the query; a retried
+// broadcast sees removed=false on groups that already applied it.
+type WireRemoved struct {
+	Removed bool `json:"removed"`
+}
+
+// WireStats is one group's stats contribution.
+type WireStats struct {
+	Timestamps     int     `json:"timestamps"`
+	AvgFilterMs    float64 `json:"avg_filter_ms"`
+	CandidateRatio float64 `json:"candidate_ratio"`
+}
+
+// encodeRecords converts WAL records to their base64 wire form.
+func encodeRecords(recs []wal.Record) ([]string, error) {
+	out := make([]string, 0, len(recs))
+	for _, r := range recs {
+		data, err := wal.EncodeRecord(r)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding record %d: %w", r.LSN, err)
+		}
+		out = append(out, base64.StdEncoding.EncodeToString(data))
+	}
+	return out, nil
+}
+
+// decodeRecords parses the base64 wire form back into WAL records.
+func decodeRecords(enc []string) ([]wal.Record, error) {
+	out := make([]wal.Record, 0, len(enc))
+	for i, s := range enc {
+		data, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: record %d: bad base64: %w", i, err)
+		}
+		r, err := wal.DecodeRecord(data)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: record %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -37,8 +38,17 @@ type DurableEngine struct {
 	dir    string
 	cpPath string
 
-	metrics *wal.Metrics
-	closed  bool
+	// applied is the LSN of the last record folded into the engine state —
+	// max of the restored checkpoint's WALSeq and the log's last record. It
+	// can run ahead of log.LastLSN() after a checkpoint-driven log reset, so
+	// checkpoints stamp it (not the log's LSN) and replica gap detection
+	// compares against it.
+	applied uint64
+
+	metrics  *wal.Metrics
+	onCommit func(wal.Record)
+	cpFault  *wal.AtomicFault
+	closed   bool
 
 	stopCheckpoint chan struct{}
 	checkpointWG   sync.WaitGroup
@@ -85,6 +95,15 @@ type DurableOptions struct {
 	Metrics *wal.Metrics
 	// WrapFile wraps the WAL file — the fault-injection hook for tests.
 	WrapFile func(wal.LogFile) wal.LogFile
+	// CheckpointFault injects failures into the checkpoint's atomic file
+	// replacement — the checkpoint-path fault-injection hook for tests.
+	CheckpointFault *wal.AtomicFault
+	// OnCommit, when non-nil, receives every successfully applied mutation as
+	// its LSN-stamped WAL record, in commit order, under the engine's write
+	// lock — the replication shipping hook. It is not invoked for records
+	// replayed during recovery (they were committed by an earlier process) or
+	// applied through ApplyRecord (they arrived from another primary).
+	OnCommit func(wal.Record)
 }
 
 const (
@@ -102,9 +121,11 @@ func OpenDurableEngine(dir string, factory FilterFactory, opts DurableOptions) (
 		return nil, fmt.Errorf("core: creating data dir %s: %w", dir, err)
 	}
 	d := &DurableEngine{
-		dir:     dir,
-		cpPath:  filepath.Join(dir, checkpointFileName),
-		metrics: opts.Metrics,
+		dir:      dir,
+		cpPath:   filepath.Join(dir, checkpointFileName),
+		metrics:  opts.Metrics,
+		onCommit: opts.OnCommit,
+		cpFault:  opts.CheckpointFault,
 	}
 	if opts.Shards > 1 {
 		d.inner = NewShardedMonitorWith(factory, ShardedOptions{Shards: opts.Shards, Workers: opts.Workers})
@@ -143,17 +164,23 @@ func OpenDurableEngine(dir string, factory FilterFactory, opts DurableOptions) (
 		return nil, err
 	}
 	d.log = log
+	d.applied = log.LastLSN()
+	if walSeq > d.applied {
+		d.applied = walSeq
+	}
 	if walSeq > log.LastLSN() {
 		// The checkpoint is ahead of the (reset or torn) log; future LSNs
-		// must stay above everything a checkpoint has ever recorded.
-		// Re-checkpointing immediately restores the invariant by folding the
-		// current LSN base into a fresh checkpoint.
-		d.mu.Lock()
-		err := d.checkpointLocked()
-		d.mu.Unlock()
+		// must stay above everything a checkpoint has ever recorded, or the
+		// next recovery would skip them. Any surviving records were already
+		// folded into the checkpoint, so discard them and continue numbering
+		// from the checkpoint's LSN.
+		err := log.Reset()
+		if err == nil {
+			err = log.Rebase(walSeq)
+		}
 		if err != nil {
 			log.Close()
-			return nil, fmt.Errorf("core: rebasing checkpoint after log loss: %w", err)
+			return nil, fmt.Errorf("core: rebasing log after checkpoint-ahead boot: %w", err)
 		}
 	}
 	if opts.CheckpointInterval > 0 {
@@ -222,7 +249,8 @@ func (d *DurableEngine) logged(r wal.Record, apply func() error) error {
 		return errDurableClosed
 	}
 	off, lsn := d.log.Offset(), d.log.LastLSN()
-	if _, err := d.log.Append(r); err != nil {
+	committed, err := d.log.Append(r)
+	if err != nil {
 		return err
 	}
 	if err := apply(); err != nil {
@@ -230,6 +258,11 @@ func (d *DurableEngine) logged(r wal.Record, apply func() error) error {
 			return fmt.Errorf("%w (and withdrawing the WAL record failed: %v)", err, terr)
 		}
 		return err
+	}
+	d.applied = committed
+	if d.onCommit != nil {
+		r.LSN = committed
+		d.onCommit(r)
 	}
 	return nil
 }
@@ -312,10 +345,10 @@ func (d *DurableEngine) Checkpoint() error {
 // replay then skips by LSN.
 func (d *DurableEngine) checkpointLocked() error {
 	start := time.Now()
-	file := buildSnapshotFile(d.inner.checkpointState(), d.log.LastLSN())
-	err := wal.WriteFileAtomic(d.cpPath, func(w io.Writer) error {
+	file := buildSnapshotFile(d.inner.checkpointState(), d.applied)
+	err := wal.WriteFileAtomicFault(d.cpPath, func(w io.Writer) error {
 		return writeSnapshotTo(w, file)
-	})
+	}, d.cpFault)
 	if err == nil {
 		err = d.log.Reset()
 	}
@@ -412,3 +445,114 @@ func (d *DurableEngine) CollectMetrics(emit func(name string, value float64)) {
 // LastLSN exposes the WAL's most recent sequence number (for tests and
 // operational introspection).
 func (d *DurableEngine) LastLSN() uint64 { return d.log.LastLSN() }
+
+// NextIDs reports the IDs the next AddQuery/AddStream will be assigned — the
+// idempotency key a cluster coordinator uses to detect a broadcast a group
+// already applied when it retries after a partial failure.
+func (d *DurableEngine) NextIDs() (QueryID, StreamID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.nextIDs()
+}
+
+// AppliedLSN reports the LSN of the last record folded into the engine state.
+// Unlike LastLSN it survives checkpoint-driven log resets, so it is the
+// replication watermark replicas and coordinators compare.
+func (d *DurableEngine) AppliedLSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied
+}
+
+// ApplyRecord applies one primary-shipped WAL record to a replica engine:
+// append-before-apply into the replica's own log (preserving the primary's
+// LSN), then fold into the engine state. Records at or below the applied
+// watermark are idempotently skipped — re-shipping after a retry is harmless.
+// A record beyond applied+1 is refused with ErrReplicaGap; the replica must
+// catch up via RecordsSince on the primary (or a snapshot install when the
+// primary's log was compacted past the gap). OnCommit is not invoked: the
+// record was committed by the primary, and replicas do not re-ship.
+func (d *DurableEngine) ApplyRecord(r wal.Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errDurableClosed
+	}
+	if r.LSN <= d.applied {
+		return nil
+	}
+	if r.LSN != d.applied+1 {
+		return fmt.Errorf("%w (applied %d, shipped %d)", ErrReplicaGap, d.applied, r.LSN)
+	}
+	off, lsn := d.log.Offset(), d.log.LastLSN()
+	if err := d.log.AppendAt(r); err != nil {
+		return err
+	}
+	if err := d.replayRecord(r); err != nil {
+		if terr := d.log.TruncateTo(off, lsn); terr != nil {
+			return fmt.Errorf("%w (and withdrawing the WAL record failed: %v)", err, terr)
+		}
+		return err
+	}
+	d.applied = r.LSN
+	return nil
+}
+
+// RecordsSince collects the WAL records with LSN > from, the catch-up feed a
+// lagging replica replays through ApplyRecord. It returns wal.ErrCompacted
+// when a checkpoint has folded away records the caller still needs — the
+// signal to fall back to SnapshotBytes + InstallSnapshot.
+func (d *DurableEngine) RecordsSince(from uint64) ([]wal.Record, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, errDurableClosed
+	}
+	var recs []wal.Record
+	err := d.log.RecordsFrom(from, func(r wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// SnapshotBytes serializes the current engine state (stamped with the applied
+// LSN) in the checkpoint file format — the transfer unit for bootstrapping a
+// replica whose gap predates the primary's log.
+func (d *DurableEngine) SnapshotBytes() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, errDurableClosed
+	}
+	var buf bytes.Buffer
+	file := buildSnapshotFile(d.inner.checkpointState(), d.applied)
+	if err := writeSnapshotTo(&buf, file); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// InstallSnapshot seeds a data directory with a snapshot produced by
+// SnapshotBytes, discarding any WAL the directory held: the next
+// OpenDurableEngine boots from the snapshot's state at its applied LSN and
+// accepts shipped records from there. It must not be called on a directory an
+// open engine is using.
+func InstallSnapshot(dir string, data []byte) error {
+	if _, err := readSnapshotFrom(bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("core: validating snapshot: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating data dir %s: %w", dir, err)
+	}
+	if err := os.Remove(filepath.Join(dir, walFileName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: discarding stale WAL in %s: %w", dir, err)
+	}
+	return wal.WriteFileAtomic(filepath.Join(dir, checkpointFileName), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -19,4 +19,9 @@ var (
 	// ErrUnsupported reports an operation the configured filter cannot
 	// perform (for example query removal on a non-dynamic filter).
 	ErrUnsupported = errors.New("operation not supported by this filter")
+	// ErrReplicaGap reports a shipped WAL record that is not the next record
+	// the replica expects: records between the replica's applied LSN and the
+	// shipped one are missing, so the replica must catch up (WAL tail fetch or
+	// snapshot install) before applying further records.
+	ErrReplicaGap = errors.New("replica is behind: shipped record leaves an LSN gap")
 )

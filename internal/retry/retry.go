@@ -1,0 +1,183 @@
+// Package retry is the module's shared backoff engine: capped exponential
+// delays with multiplicative jitter, driven under a context so cancellation
+// always wins over sleeping. The cluster transport (internal/cluster) wraps
+// every inter-node RPC in a Policy, and cmd/streamwatch uses one to reconnect
+// to a remote monitor; both need identical semantics — deadline-aware sleeps,
+// a hard attempt cap, and a way for callers to mark an error as not worth
+// retrying.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value is usable: it takes
+// the defaults documented on each field.
+type Policy struct {
+	// MaxAttempts bounds the total number of calls (first try included).
+	// Zero or negative selects DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure (default
+	// DefaultBaseDelay). Each subsequent failure multiplies it by Multiplier
+	// up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay (default DefaultMaxDelay).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2; values below 1
+	// are treated as 1).
+	Multiplier float64
+	// Jitter is the multiplicative jitter fraction in [0, 1): each delay is
+	// scaled by a uniform factor in [1-Jitter, 1+Jitter] so synchronized
+	// clients spread out. Default DefaultJitter; negative disables.
+	Jitter float64
+
+	// Rand supplies the jitter uniform in [0, 1); nil uses math/rand. Tests
+	// inject a deterministic source.
+	Rand func() float64
+	// Sleep waits for d or until ctx is done; nil uses a timer. Tests inject
+	// a virtual clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Defaults for the zero Policy.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 20 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultJitter      = 0.2
+)
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops immediately and returns the wrapped error
+// unmodified. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the jittered delay to wait after the given zero-based failed
+// attempt. The pre-jitter value grows as BaseDelay·Multiplier^attempt, capped
+// at MaxDelay; jitter then scales it by a uniform factor in
+// [1-Jitter, 1+Jitter].
+func (p Policy) Delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		if mult == 0 {
+			mult = 2
+		} else {
+			mult = 1
+		}
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	jitter := p.Jitter
+	if p.Jitter == 0 {
+		jitter = DefaultJitter
+	}
+	if jitter > 0 {
+		u := p.uniform()
+		d *= 1 + jitter*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+func (p Policy) uniform() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	return rand.Float64()
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do calls fn until it returns nil, returns an error marked Permanent, the
+// attempt budget is exhausted, or ctx is done. Between attempts it sleeps the
+// jittered backoff delay; a context cancellation during the sleep wins and is
+// folded into the returned error alongside the last attempt's failure.
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	attempts := p.maxAttempts()
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("retry: %w (context done: %w)", last, err)
+			}
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		last = err
+		if attempt == attempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, p.Delay(attempt)); serr != nil {
+			return fmt.Errorf("retry: %w (context done: %w)", last, serr)
+		}
+	}
+	return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, last)
+}

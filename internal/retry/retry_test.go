@@ -1,0 +1,175 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fixedRand returns a Rand that cycles through the given uniforms.
+func fixedRand(us ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		u := us[i%len(us)]
+		i++
+		return u
+	}
+}
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   80 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     -1, // disable jitter for exact values
+	}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   time.Second,
+		Multiplier: 2,
+		Jitter:     0.25,
+	}
+	// Extremes of the uniform map onto the documented interval
+	// [1-Jitter, 1+Jitter] around the pre-jitter delay.
+	p.Rand = fixedRand(0)
+	if got, want := p.Delay(0), 75*time.Millisecond; got != want {
+		t.Errorf("low jitter: Delay(0) = %v, want %v", got, want)
+	}
+	p.Rand = fixedRand(1 - 1e-12)
+	if got := p.Delay(0); got < 124*time.Millisecond || got > 125*time.Millisecond {
+		t.Errorf("high jitter: Delay(0) = %v, want ~125ms", got)
+	}
+	// Random uniforms always land inside the bounds.
+	p.Rand = nil
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(2) // pre-jitter 400ms
+		if d < 300*time.Millisecond || d > 500*time.Millisecond {
+			t.Fatalf("jittered Delay(2) = %v outside [300ms, 500ms]", d)
+		}
+	}
+}
+
+func TestDoStopsAtMaxAttempts(t *testing.T) {
+	calls := 0
+	p := Policy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	errBoom := errors.New("boom")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	p := Policy{
+		MaxAttempts: 5,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	errFatal := errors.New("bad request")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(errFatal)
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+	if !errors.Is(err, errFatal) {
+		t.Fatalf("err = %v, want wrapped %v", err, errFatal)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("err should still be marked permanent")
+	}
+}
+
+func TestDoContextCanceledDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{
+		MaxAttempts: 10,
+		BaseDelay:   time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // cancellation races the backoff sleep and must win
+			return ctx.Err()
+		},
+	}
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (canceled during first sleep)", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestDoContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{}.Do(ctx, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if calls != 0 {
+		t.Fatalf("fn called %d times on a dead context, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Fatal("plain error misclassified as permanent")
+	}
+}

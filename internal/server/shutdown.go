@@ -1,0 +1,33 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// Drain gracefully shuts down the given HTTP servers together: each stops
+// accepting new connections immediately, in-flight requests run to completion,
+// and Drain returns when every server has finished draining or ctx expires
+// (whichever comes first — an expired ctx abandons the stragglers and returns
+// their contexts' errors). Nil servers are permitted and skipped, so callers
+// can pass optional listeners (pprof, cluster control planes) unconditionally.
+func Drain(ctx context.Context, srvs ...*http.Server) error {
+	errs := make([]error, len(srvs))
+	done := make(chan int, len(srvs))
+	n := 0
+	for i, s := range srvs {
+		if s == nil {
+			continue
+		}
+		n++
+		go func(i int, s *http.Server) {
+			errs[i] = s.Shutdown(ctx)
+			done <- i
+		}(i, s)
+	}
+	for ; n > 0; n-- {
+		<-done
+	}
+	return errors.Join(errs...)
+}

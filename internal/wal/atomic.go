@@ -5,7 +5,75 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
+
+// AtomicStage names the fallible stages of WriteFileAtomic, for fault
+// injection.
+type AtomicStage int
+
+const (
+	// StageWrite fails the content write into the temp file.
+	StageWrite AtomicStage = iota + 1
+	// StageSync fails the temp file's fsync (content was written).
+	StageSync
+	// StageRename fails the rename over the destination (the temp file is
+	// complete and synced, but never became the published file).
+	StageRename
+)
+
+func (s AtomicStage) String() string {
+	switch s {
+	case StageWrite:
+		return "write"
+	case StageSync:
+		return "sync"
+	case StageRename:
+		return "rename"
+	default:
+		return fmt.Sprintf("AtomicStage(%d)", int(s))
+	}
+}
+
+// AtomicFault injects one failure into a chosen stage of WriteFileAtomic —
+// the checkpoint-path analogue of FaultFile. Arm it with the stage to break;
+// the next WriteFileAtomic call through it fails there, after which the fault
+// disarms (subsequent checkpoints succeed, as a transiently full disk would).
+// It is safe for concurrent use.
+type AtomicFault struct {
+	mu      sync.Mutex
+	stage   AtomicStage // 0 = disarmed
+	tripped int
+}
+
+// Arm sets the stage the next WriteFileAtomic call fails at.
+func (f *AtomicFault) Arm(stage AtomicStage) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stage = stage
+}
+
+// Tripped reports how many operations the fault has failed.
+func (f *AtomicFault) Tripped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// fire reports whether the armed stage matches, consuming the arming.
+func (f *AtomicFault) fire(stage AtomicStage) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stage != stage {
+		return false
+	}
+	f.stage = 0
+	f.tripped++
+	return true
+}
 
 // WriteFileAtomic writes a file crash-safely: the content goes to
 // <path>.tmp, is fsynced, and is renamed over path, so readers only ever see
@@ -14,15 +82,32 @@ import (
 // durable. On any error the previous file at path is left intact (a stale
 // .tmp may remain; callers ignore or remove it on boot).
 func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return WriteFileAtomicFault(path, write, nil)
+}
+
+// WriteFileAtomicFault is WriteFileAtomic with an optional fault injector
+// (nil behaves identically to WriteFileAtomic). Injected failures take the
+// same cleanup paths as real ones, so tests exercise the genuine error
+// handling.
+func WriteFileAtomicFault(path string, write func(w io.Writer) error, fault *AtomicFault) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating %s: %w", tmp, err)
 	}
-	if err := write(f); err != nil {
+	werr := write(f)
+	if werr == nil && fault.fire(StageWrite) {
+		werr = fmt.Errorf("injected write fault")
+	}
+	if werr != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("wal: writing %s: %w", tmp, err)
+		return fmt.Errorf("wal: writing %s: %w", tmp, werr)
+	}
+	if fault.fire(StageSync) {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: syncing %s: %w", tmp, fmt.Errorf("injected fsync fault"))
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -32,6 +117,10 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: closing %s: %w", tmp, err)
+	}
+	if fault.fire(StageRename) {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: renaming %s: %w", tmp, fmt.Errorf("injected rename fault"))
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)

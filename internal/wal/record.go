@@ -59,6 +59,20 @@ type Record struct {
 	Changes map[int64]graph.ChangeSet
 }
 
+// EncodeRecord serializes a record (LSN included, framing excluded) in the
+// log's deterministic payload encoding — the wire form replication ships
+// between nodes, so a shipped record round-trips bit-identically into the
+// replica's log.
+func EncodeRecord(r Record) ([]byte, error) {
+	return appendPayload(nil, r)
+}
+
+// DecodeRecord parses a payload produced by EncodeRecord (or read out of a
+// log frame). Any structural defect is an error.
+func DecodeRecord(data []byte) (Record, error) {
+	return decodePayload(data)
+}
+
 // appendPayload serializes the record (without framing) onto buf. Encoding is
 // varint-based: collections are length-prefixed, vertex IDs use zig-zag
 // varints (signed), labels and counts unsigned varints. Map entries are

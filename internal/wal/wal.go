@@ -230,9 +230,33 @@ func (l *Log) Append(r Record) (uint64, error) {
 		return 0, l.err
 	}
 	r.LSN = l.lastLSN + 1
+	if err := l.appendLocked(r); err != nil {
+		return 0, err
+	}
+	return r.LSN, nil
+}
+
+// AppendAt appends a record that already carries its LSN — the replication
+// receive path, where a replica persists records exactly as the primary's log
+// assigned them so the two logs stay LSN-identical. The LSN must be strictly
+// beyond the last local record; LSN gaps are legal (the gap records were
+// folded into a shipped snapshot).
+func (l *Log) AppendAt(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if r.LSN <= l.lastLSN {
+		return fmt.Errorf("wal: AppendAt LSN %d is not beyond last LSN %d", r.LSN, l.lastLSN)
+	}
+	return l.appendLocked(r)
+}
+
+func (l *Log) appendLocked(r Record) error {
 	payload, err := appendPayload(l.scratch[:0], r)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	frame := make([]byte, frameHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -248,24 +272,22 @@ func (l *Log) Append(r Record) (uint64, error) {
 		// the rollback is fine — recovery truncates the torn frame.)
 		if rerr := l.rewindTo(l.offset); rerr != nil {
 			l.err = fmt.Errorf("wal: rollback after failed append: %w", rerr)
-			return 0, l.err
+			return l.err
 		}
 		l.dirty = true
 		if werr == nil {
 			werr = io.ErrShortWrite
 		}
-		return 0, fmt.Errorf("wal: appending record %d: %w", r.LSN, werr)
+		return fmt.Errorf("wal: appending record %d: %w", r.LSN, werr)
 	}
 	l.metrics.observeAppend(time.Since(start), n)
 	l.offset += int64(n)
 	l.lastLSN = r.LSN
 	l.dirty = true
 	if l.policy == SyncAlways {
-		if err := l.syncLocked(); err != nil {
-			return 0, err
-		}
+		return l.syncLocked()
 	}
-	return r.LSN, nil
+	return nil
 }
 
 // Sync forces an fsync regardless of policy.
@@ -289,6 +311,72 @@ func (l *Log) syncLocked() error {
 	}
 	l.metrics.observeFsync(time.Since(start))
 	l.dirty = false
+	return nil
+}
+
+// ErrCompacted reports that records requested from the log were already
+// folded into a checkpoint and reset away: the caller must fall back to a
+// snapshot transfer instead of record replay.
+var ErrCompacted = fmt.Errorf("wal: requested records were compacted into a checkpoint")
+
+// RecordsFrom invokes fn, in LSN order, for every record in the log with an
+// LSN strictly greater than from — the catch-up iterator a replication
+// primary uses to re-ship a lagging replica's missing suffix. It returns
+// ErrCompacted when the log no longer holds the full suffix (a checkpoint
+// reset discarded it); a non-nil error from fn aborts the scan and is
+// returned verbatim. The scan re-reads the file under the append lock, so it
+// sees a record-boundary-consistent prefix and cannot interleave with
+// appends.
+func (l *Log) RecordsFrom(from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if from >= l.lastLSN {
+		return nil // nothing beyond from has ever been appended here
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking %s for catch-up scan: %w", l.path, err)
+	}
+	data := make([]byte, l.offset)
+	if _, err := io.ReadFull(l.f, data); err != nil {
+		return fmt.Errorf("wal: reading %s for catch-up scan: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(l.offset, io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: restoring append cursor on %s: %w", l.path, err)
+		return l.err
+	}
+	// The valid region was established at open/append time; frames here must
+	// parse. The first surviving record tells us whether the suffix after
+	// `from` is complete: primary logs assign contiguous LSNs, so a first
+	// record beyond from+1 (or an empty log with lastLSN > from) means the
+	// records in between were checkpointed away.
+	first := true
+	var scanErr error
+	res, err := scanFrames(data[len(fileMagic):], func(r Record) error {
+		if first {
+			first = false
+			if r.LSN > from+1 {
+				scanErr = ErrCompacted
+				return scanErr
+			}
+		}
+		if r.LSN <= from {
+			return nil
+		}
+		return fn(r)
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if err != nil {
+		return err
+	}
+	if res.records == 0 {
+		// Log is empty but lastLSN > from: everything was reset away.
+		return ErrCompacted
+	}
 	return nil
 }
 
@@ -349,6 +437,27 @@ func (l *Log) Reset() error {
 	l.offset = int64(len(fileMagic))
 	l.dirty = true
 	return l.syncLocked()
+}
+
+// Rebase advances the LSN counter of an empty log to lsn, so the next append
+// is assigned lsn+1. Boot uses it when a checkpoint's recorded LSN is ahead of
+// the log (the process died between checkpoint publication and log reset, or
+// the tail was torn away): numbering must continue above everything a
+// checkpoint has ever folded in, or the next recovery would skip fresh
+// records — and replication watermarks would run backwards across restarts.
+func (l *Log) Rebase(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.offset != int64(len(fileMagic)) {
+		return fmt.Errorf("wal: Rebase on a log holding records")
+	}
+	if lsn > l.lastLSN {
+		l.lastLSN = lsn
+	}
+	return nil
 }
 
 // Close stops the background sync (if any), flushes, and closes the file.
