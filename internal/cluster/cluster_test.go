@@ -2,15 +2,19 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"nntstream/internal/core"
+	"nntstream/internal/graph"
 	"nntstream/internal/join"
 	"nntstream/internal/server"
 )
@@ -406,6 +410,364 @@ func TestClusterMetricsExposition(t *testing.T) {
 	if m.Failovers.Value() == 0 || m.HeartbeatMisses.Value() == 0 || m.RecordsShipped.Value() == 0 {
 		t.Fatalf("cluster counters not exercised: failovers=%d misses=%d shipped=%d",
 			m.Failovers.Value(), m.HeartbeatMisses.Value(), m.RecordsShipped.Value())
+	}
+}
+
+// TestCoordinatorRestartRecoversCounters restarts the coordinator (workers
+// keep running) mid-workload: the replacement must rebuild its idempotency
+// counters from worker state instead of starting at zero, where every
+// subsequent write would look like an already-applied retry and be acked
+// without being applied. The workload includes a removal so the test also
+// pins recovery to the engines' ID allocators rather than live counts.
+func TestCoordinatorRestartRecoversCounters(t *testing.T) {
+	factory := filterCases[1].factory // DSC: supports removal and late registration
+	tc := newTestCluster(t, factory, 1, 3, 2, 2)
+	ref := newRefEngine(t, factory, 1)
+	ops := standardWorkload(true)
+	split := len(ops) - 1 // everything but the final step: 3 queries, 3 streams, 3 steps, 1 removal
+	for i, op := range ops[:split] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %d (%s): status %d", i, op.kind, status)
+		}
+		ref.apply(op)
+	}
+
+	tc.coord.Stop()
+	coord, err := NewCoordinator(tc.cfg, CoordinatorOptions{
+		Transport:     &RetryTransport{Next: tc.fault, Policy: instantPolicy(), Cooldown: time.Nanosecond},
+		MissThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(context.Background()); err != nil {
+		t.Fatalf("restarted coordinator: %v", err)
+	}
+	defer coord.Stop()
+	tc.coord = coord
+
+	coord.mu.Lock()
+	queries, streams, steps := coord.queries, coord.streams, coord.steps
+	coord.mu.Unlock()
+	if queries != 3 || streams != 3 || steps != 3 {
+		t.Fatalf("recovered counters queries=%d streams=%d steps=%d, want 3/3/3",
+			queries, streams, steps)
+	}
+
+	for i, op := range ops[split:] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("op %d (%s) after restart: status %d", split+i, op.kind, status)
+		}
+		ref.apply(op)
+	}
+
+	// Fresh registrations must get the same IDs the single-node engine hands
+	// out — the observable proof the counters were not reset.
+	var qid WireID
+	if status, _ := tc.do(http.MethodPost, "/v1/queries", graphRequest{Graph: lineGraph(1, 3)}, &qid); status/100 != 2 {
+		t.Fatalf("query after restart: status %d", status)
+	}
+	refQ, err := ref.eng.AddQuery(mustGraph(t, lineGraph(1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qid.ID != int(refQ) {
+		t.Fatalf("post-restart query id %d, reference %d", qid.ID, refQ)
+	}
+	var sid WireID
+	if status, _ := tc.do(http.MethodPost, "/v1/streams", graphRequest{Graph: lineGraph(2, 1)}, &sid); status/100 != 2 {
+		t.Fatalf("stream after restart: status %d", status)
+	}
+	refS, err := ref.eng.AddStream(mustGraph(t, lineGraph(2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid.ID != int(refS) {
+		t.Fatalf("post-restart stream id %d, reference %d", sid.ID, refS)
+	}
+
+	got, _ := tc.clusterCandidates()
+	if want := ref.candidates(); !wirePairsEqual(got, want) {
+		t.Fatalf("post-restart answers diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+func mustGraph(t *testing.T, wg server.WireGraph) *graph.Graph {
+	t.Helper()
+	g, err := wg.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pathFailTransport fails the next N calls to an exact path — the surgical
+// tool for manufacturing a partial broadcast (one group applied, the next
+// delivery lost).
+type pathFailTransport struct {
+	next Transport
+	mu   sync.Mutex
+	fail map[string]int
+}
+
+func (p *pathFailTransport) failNext(path string, n int) {
+	p.mu.Lock()
+	p.fail[path] = n
+	p.mu.Unlock()
+}
+
+func (p *pathFailTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	p.mu.Lock()
+	if p.fail[path] > 0 {
+		p.fail[path]--
+		p.mu.Unlock()
+		return nil, fmt.Errorf("injected failure for %s", path)
+	}
+	p.mu.Unlock()
+	return p.next.Do(ctx, addr, method, path, in, out)
+}
+
+// TestPartialBroadcastConflictSurfaces drives the half-applied-broadcast
+// corner through the coordinator: after a broadcast that only group 0
+// applied, a *different* write reusing the idempotency key must surface 409
+// (group 0 applied another payload there), while a retry of the original
+// payload completes the broadcast.
+func TestPartialBroadcastConflictSurfaces(t *testing.T) {
+	tc := newTestCluster(t, filterCases[0].factory, 1, 3, 2, 2)
+	tc.coord.Stop()
+	pf := &pathFailTransport{next: tc.net, fail: make(map[string]int)}
+	coord, err := NewCoordinator(tc.cfg, CoordinatorOptions{Transport: pf, MissThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+	tc.coord = coord
+
+	pf.failNext("/cluster/groups/1/queries", 1)
+	a, b := lineGraph(1, 2), lineGraph(2, 3)
+	if status, _ := tc.do(http.MethodPost, "/v1/queries", graphRequest{Graph: a}, nil); status/100 == 2 {
+		t.Fatalf("partial broadcast reported success: %d", status)
+	}
+
+	if status, _ := tc.do(http.MethodPost, "/v1/queries", graphRequest{Graph: b}, nil); status != http.StatusConflict {
+		t.Fatalf("different payload reusing the key: status %d, want 409", status)
+	}
+
+	var resp WireID
+	if status, _ := tc.do(http.MethodPost, "/v1/queries", graphRequest{Graph: a}, &resp); status/100 != 2 || resp.ID != 0 {
+		t.Fatalf("retry of the original payload: status %d id %d, want 2xx id 0", status, resp.ID)
+	}
+}
+
+// TestWorkerFingerprintConflict pins the per-kind fingerprint checks at the
+// worker surface: for queries, streams, and steps, a reused idempotency key
+// carrying a different payload is 409, and a genuine retry is acked.
+func TestWorkerFingerprintConflict(t *testing.T) {
+	tc := newTestCluster(t, filterCases[0].factory, 1, 3, 1, 1)
+	ctx := context.Background()
+	addr := tc.primaryOf(0)
+	post := func(path string, in, out any) error {
+		_, err := tc.net.Do(ctx, addr, http.MethodPost, path, in, out)
+		return err
+	}
+	wantConflict := func(what string, err error) {
+		t.Helper()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusConflict {
+			t.Fatalf("%s under a reused key: %v, want 409", what, err)
+		}
+	}
+
+	qa, qb := lineGraph(1, 2), lineGraph(2, 3)
+	var id WireID
+	if err := post("/cluster/groups/0/queries", WireAddQuery{Graph: qa, Expect: 0, Fingerprint: fingerprintOf(qa)}, &id); err != nil {
+		t.Fatalf("query apply: %v", err)
+	}
+	wantConflict("different query", post("/cluster/groups/0/queries",
+		WireAddQuery{Graph: qb, Expect: 0, Fingerprint: fingerprintOf(qb)}, nil))
+	if err := post("/cluster/groups/0/queries", WireAddQuery{Graph: qa, Expect: 0, Fingerprint: fingerprintOf(qa)}, &id); err != nil || id.ID != 0 {
+		t.Fatalf("genuine query retry: id=%d err=%v", id.ID, err)
+	}
+
+	sa, sb := lineGraph(1, 2, 3), lineGraph(3, 2, 1)
+	if err := post("/cluster/groups/0/streams", WireAddStream{Graph: sa, Expect: 0, Fingerprint: fingerprintOf(sa)}, &id); err != nil {
+		t.Fatalf("stream apply: %v", err)
+	}
+	wantConflict("different stream", post("/cluster/groups/0/streams",
+		WireAddStream{Graph: sb, Expect: 0, Fingerprint: fingerprintOf(sb)}, nil))
+	if err := post("/cluster/groups/0/streams", WireAddStream{Graph: sa, Expect: 0, Fingerprint: fingerprintOf(sa)}, &id); err != nil || id.ID != 0 {
+		t.Fatalf("genuine stream retry: id=%d err=%v", id.ID, err)
+	}
+
+	ca := map[string][]server.WireOp{"0": {ins(10, 1, 11, 2, 3)}}
+	cb := map[string][]server.WireOp{"0": {ins(20, 2, 21, 3, 5)}}
+	var pairs WirePairs
+	if err := post("/cluster/groups/0/step", WireStep{Seq: 0, Changes: ca, Fingerprint: fingerprintOf(ca)}, &pairs); err != nil {
+		t.Fatalf("step apply: %v", err)
+	}
+	wantConflict("different change set", post("/cluster/groups/0/step",
+		WireStep{Seq: 0, Changes: cb, Fingerprint: fingerprintOf(cb)}, nil))
+	if err := post("/cluster/groups/0/step", WireStep{Seq: 0, Changes: ca, Fingerprint: fingerprintOf(ca)}, &pairs); err != nil {
+		t.Fatalf("genuine step retry: %v", err)
+	}
+}
+
+// gatedTransport blocks status probes to one address until released —
+// a worker that accepted the TCP connection and then went silent.
+type gatedTransport struct {
+	next    Transport
+	entered chan struct{}
+	release chan struct{}
+
+	mu   sync.Mutex
+	addr string
+}
+
+func (g *gatedTransport) gateOn(addr string) {
+	g.mu.Lock()
+	g.addr = addr
+	g.mu.Unlock()
+}
+
+func (g *gatedTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	g.mu.Lock()
+	gated := g.addr == addr && path == "/cluster/status"
+	g.mu.Unlock()
+	if gated {
+		select {
+		case g.entered <- struct{}{}:
+		default:
+		}
+		<-g.release
+	}
+	return g.next.Do(ctx, addr, method, path, in, out)
+}
+
+// TestPollOnceDoesNotBlockDataPlane wedges a heartbeat probe mid-flight and
+// requires client reads to keep completing: failure detection must wait on
+// slow workers outside the coordinator's mutex.
+func TestPollOnceDoesNotBlockDataPlane(t *testing.T) {
+	tc := newTestCluster(t, filterCases[0].factory, 1, 3, 2, 2)
+	for _, op := range standardWorkload(false)[:4] {
+		if status := tc.applyOp(op); status/100 != 2 {
+			t.Fatalf("setup op %s: status %d", op.kind, status)
+		}
+	}
+
+	tc.coord.Stop()
+	gate := &gatedTransport{next: tc.net, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	coord, err := NewCoordinator(tc.cfg, CoordinatorOptions{Transport: gate, MissThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+	tc.coord = coord
+
+	gate.gateOn("w0")
+	done := make(chan struct{})
+	go func() {
+		coord.PollOnce(context.Background())
+		close(done)
+	}()
+	<-gate.entered // the w0 probe is in flight and hung
+
+	read := make(chan int, 1)
+	go func() {
+		status, _ := tc.do(http.MethodGet, "/v1/candidates", nil, &WirePairs{})
+		read <- status
+	}()
+	select {
+	case status := <-read:
+		if status != http.StatusOK {
+			t.Fatalf("read during hung heartbeat: status %d", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("data plane blocked behind a hung heartbeat probe")
+	}
+	close(gate.release)
+	<-done
+}
+
+// hangingTransport wedges replicate deliveries (once armed) until the
+// caller's context expires — a replica that stopped reading mid-connection.
+type hangingTransport struct {
+	next Transport
+	mu   sync.Mutex
+	hang bool
+}
+
+func (h *hangingTransport) setHang(v bool) {
+	h.mu.Lock()
+	h.hang = v
+	h.mu.Unlock()
+}
+
+func (h *hangingTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	h.mu.Lock()
+	hang := h.hang
+	h.mu.Unlock()
+	if hang && strings.HasSuffix(path, "/replicate") {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return h.next.Do(ctx, addr, method, path, in, out)
+}
+
+// TestShipTimeoutBoundsCommit hangs a replica after it was synced into the
+// in-band shipping set: the next commit must return within the ship timeout
+// with the replica marked lagging, not wedge the primary's commit lock.
+func TestShipTimeoutBoundsCommit(t *testing.T) {
+	net := newMemNet()
+	hang := &hangingTransport{next: net}
+	metrics := NewMetrics(newDetachedRegistry())
+	dir := t.TempDir()
+	primary := NewWorker("w0", filepath.Join(dir, "w0"), WorkerOptions{
+		Factory:     filterCases[0].factory,
+		Transport:   hang,
+		ShipTimeout: 50 * time.Millisecond,
+		Metrics:     metrics,
+	})
+	defer primary.Crash()
+	net.attach("w0", primary.Handler())
+	replica := NewWorker("w1", filepath.Join(dir, "w1"), WorkerOptions{
+		Factory:   filterCases[0].factory,
+		Transport: net,
+	})
+	defer replica.Crash()
+	net.attach("w1", replica.Handler())
+
+	ctx := context.Background()
+	if _, err := net.Do(ctx, "w1", http.MethodPost, "/cluster/groups/0/role", WireRole{Role: RoleReplica}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Do(ctx, "w0", http.MethodPost, "/cluster/groups/0/role",
+		WireRole{Role: RolePrimary, Replicas: []string{"w1"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The sync round probes the replica's watermark and admits it to in-band
+	// shipping; only then does a commit touch the transport at all.
+	if _, err := net.Do(ctx, "w0", http.MethodPost, "/cluster/groups/0/sync", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	hang.setHang(true)
+	q := lineGraph(1, 2)
+	start := time.Now()
+	if _, err := net.Do(ctx, "w0", http.MethodPost, "/cluster/groups/0/queries",
+		WireAddQuery{Graph: q, Expect: 0, Fingerprint: fingerprintOf(q)}, nil); err != nil {
+		t.Fatalf("commit with hung replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("commit took %v with a hung replica, want ~ship timeout", elapsed)
+	}
+	if metrics.ShipFailures.Value() == 0 {
+		t.Fatal("hung delivery not recorded as a ship failure")
 	}
 }
 

@@ -125,8 +125,13 @@ func (c *Coordinator) Metrics() *Metrics { return c.metrics }
 // Registry exposes the metrics registry backing /v1/metrics.
 func (c *Coordinator) Registry() *obs.Registry { return c.registry }
 
-// Start pushes the initial role assignments to every worker and, when a
-// heartbeat interval is configured, launches the failure-detection loop.
+// Start pushes the initial role assignments to every worker, recovers the
+// idempotency counters from worker state, and, when a heartbeat interval is
+// configured, launches the failure-detection loop. Start refuses to serve
+// (returns an error) until every worker has answered: counters guessed at
+// zero against a cluster with existing state would make every broadcast look
+// like an already-applied retry, and workers would ack writes without
+// applying them.
 func (c *Coordinator) Start(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,12 +139,68 @@ func (c *Coordinator) Start(ctx context.Context) error {
 		if err := c.assignRolesLocked(ctx, g, gp); err != nil {
 			return err
 		}
+	}
+	// Role assignment opened (and WAL-recovered) every group engine, so the
+	// statuses the counters are rebuilt from reflect durable state — a
+	// lazily-opened engine polled earlier would report nothing.
+	if err := c.recoverCountersLocked(ctx); err != nil {
+		return err
+	}
+	for g, gp := range c.groups {
 		c.syncGroupLocked(ctx, g, gp)
 	}
 	if c.opts.HeartbeatInterval > 0 {
 		c.wg.Add(1)
 		go c.heartbeatLoop()
 	}
+	return nil
+}
+
+// recoverCountersLocked rebuilds the queries/streams/steps counters from
+// worker status reports. Per group the highest value any host reports wins
+// (replicas trail their primary); across groups the broadcast counters
+// (queries, steps) take the minimum, so a broadcast a previous coordinator
+// left half-applied can still be completed by a client retry — the groups
+// that already applied it answer idempotently, fingerprint-checked. Stream
+// placement is round-robin over groups, so the global stream counter is the
+// sum of the groups' local allocators.
+func (c *Coordinator) recoverCountersLocked(ctx context.Context) error {
+	statuses := make(map[string]WireStatus, len(c.workers))
+	for id, ws := range c.workers {
+		var st WireStatus
+		if _, err := c.transport.Do(ctx, ws.spec.Addr, http.MethodGet, "/cluster/status", nil, &st); err != nil {
+			return fmt.Errorf("cluster: recovering counters from %s: %w", id, err)
+		}
+		statuses[id] = st
+		ws.status = st
+	}
+	var queries, steps, streams int
+	for g, gp := range c.groups {
+		var gq, gs, gt int
+		for _, id := range append([]string{gp.primary}, gp.replicas...) {
+			for _, grp := range statuses[id].Groups {
+				if grp.Group != g {
+					continue
+				}
+				gq = max(gq, grp.NextQuery)
+				gs = max(gs, grp.NextStream)
+				gt = max(gt, grp.Timestamps)
+			}
+		}
+		if g == 0 || gq < queries {
+			queries = gq
+		}
+		if g == 0 || gt < steps {
+			steps = gt
+		}
+		streams += gs
+		// The primary's applied LSN bounds every write a client ever saw
+		// acknowledged; folding it in keeps promotion safe from the start.
+		if lsn, ok := groupApplied(statuses[gp.primary], g); ok && lsn > gp.acked {
+			gp.acked = lsn
+		}
+	}
+	c.queries, c.steps, c.streams = queries, steps, streams
 	return nil
 }
 
@@ -200,23 +261,43 @@ func (c *Coordinator) syncGroupLocked(ctx context.Context, g int, gp *groupPlace
 // reported watermarks into the acknowledged LSNs, re-integrate returned
 // workers, and promote or degrade groups whose primary is dead. It is the
 // heartbeat loop's body, exported so tests drive detection deterministically.
+//
+// Heartbeats run concurrently and outside the coordinator mutex: the
+// transport may spend a retry-and-timeout cycle on an unreachable worker,
+// and failure detection must never stall the data plane behind that wait.
 func (c *Coordinator) PollOnce(ctx context.Context) {
+	type probe struct {
+		id   string
+		addr string
+		st   WireStatus
+		err  error
+	}
+	c.mu.Lock()
+	probes := make([]probe, 0, len(c.workers))
+	for id, ws := range c.workers {
+		probes = append(probes, probe{id: id, addr: ws.spec.Addr})
+	}
+	c.mu.Unlock()
+	sort.Slice(probes, func(i, j int) bool { return probes[i].id < probes[j].id })
+
+	var probeWG sync.WaitGroup
+	for i := range probes {
+		probeWG.Add(1)
+		go func(p *probe) {
+			defer probeWG.Done()
+			_, p.err = c.transport.Do(ctx, p.addr, http.MethodGet, "/cluster/status", nil, &p.st)
+		}(&probes[i])
+	}
+	probeWG.Wait()
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	ids := make([]string, 0, len(c.workers))
-	for id := range c.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-
 	var revived []string
 	alive := 0
-	for _, id := range ids {
-		ws := c.workers[id]
-		var st WireStatus
-		_, err := c.transport.Do(ctx, ws.spec.Addr, http.MethodGet, "/cluster/status", nil, &st)
-		if err != nil {
+	for _, p := range probes {
+		ws := c.workers[p.id]
+		if p.err != nil {
 			ws.misses++
 			c.metrics.HeartbeatMisses.Inc()
 			if ws.misses >= c.opts.MissThreshold {
@@ -224,11 +305,11 @@ func (c *Coordinator) PollOnce(ctx context.Context) {
 			}
 		} else {
 			if !ws.alive {
-				revived = append(revived, id)
+				revived = append(revived, p.id)
 			}
 			ws.alive = true
 			ws.misses = 0
-			ws.status = st
+			ws.status = p.st
 		}
 		if ws.alive {
 			alive++
@@ -489,15 +570,17 @@ func (c *Coordinator) handleAddQuery(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := c.queries
+	fp := fingerprintOf(req.Graph)
 	for g, gp := range c.groups {
 		var resp WireID
 		hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/queries", g),
-			WireAddQuery{Graph: req.Graph, Expect: id}, &resp)
+			WireAddQuery{Graph: req.Graph, Expect: id, Fingerprint: fp}, &resp)
 		gp.noteAck(hdr)
 		if err != nil {
 			// A partial broadcast is safe to retry: groups that applied it
-			// answer idempotently off the Expect key.
+			// answer idempotently off the Expect key, fingerprint-checked so
+			// a different payload under a reused key is rejected, not acked.
 			httpError(rw, proxyStatus(err), "group %d: %v", g, err)
 			return
 		}
@@ -558,7 +641,8 @@ func (c *Coordinator) handleAddStream(rw http.ResponseWriter, r *http.Request) {
 	var resp WireID
 	hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 		fmt.Sprintf("/cluster/groups/%d/streams", g),
-		WireAddStream{Graph: req.Graph, Expect: int(c.cfg.LocalOf(global))}, &resp)
+		WireAddStream{Graph: req.Graph, Expect: int(c.cfg.LocalOf(global)),
+			Fingerprint: fingerprintOf(req.Graph)}, &resp)
 	gp.noteAck(hdr)
 	if err != nil {
 		httpError(rw, proxyStatus(err), "group %d: %v", g, err)
@@ -603,7 +687,7 @@ func (c *Coordinator) handleStep(rw http.ResponseWriter, r *http.Request) {
 		var resp WirePairs
 		hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/step", g),
-			WireStep{Seq: seq, Changes: perGroup[g]}, &resp)
+			WireStep{Seq: seq, Changes: perGroup[g], Fingerprint: fingerprintOf(perGroup[g])}, &resp)
 		gp.noteAck(hdr)
 		if err != nil {
 			httpError(rw, proxyStatus(err), "group %d: %v", g, err)

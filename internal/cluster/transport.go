@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"reflect"
 	"sync"
 	"time"
 
@@ -233,9 +234,19 @@ func (t *RetryTransport) Do(ctx context.Context, addr, method, path string, in, 
 		if attempt > 1 && t.Metrics != nil {
 			t.Metrics.RPCRetries.Inc()
 		}
-		h, err := t.Next.Do(ctx, addr, method, path, in, out)
+		// Decode each attempt into a fresh value: a failed attempt can decode
+		// part of a response before erroring, and stale fields must not leak
+		// into the attempt that finally succeeds.
+		attemptOut := out
+		if out != nil {
+			attemptOut = reflect.New(reflect.TypeOf(out).Elem()).Interface()
+		}
+		h, err := t.Next.Do(ctx, addr, method, path, in, attemptOut)
 		if err == nil {
 			hdr = h
+			if out != nil {
+				reflect.ValueOf(out).Elem().Set(reflect.ValueOf(attemptOut).Elem())
+			}
 			return nil
 		}
 		var se *StatusError

@@ -77,6 +77,36 @@ func TestRetryTransportGatewayStatusIsRetryable(t *testing.T) {
 	}
 }
 
+// partialDecodeTransport pollutes `out` before failing its first attempt —
+// the behavior of a real HTTP exchange that dies mid-body after json.Decode
+// already populated some fields.
+type partialDecodeTransport struct{ calls int }
+
+func (p *partialDecodeTransport) Do(ctx context.Context, addr, method, path string, in, out any) (http.Header, error) {
+	p.calls++
+	st := out.(*WireStatus)
+	if p.calls == 1 {
+		st.ID = "stale-worker"
+		st.Groups = []WireGroupStatus{{Group: 7, AppliedLSN: 99}}
+		return nil, fmt.Errorf("connection reset mid-body")
+	}
+	st.ID = "fresh-worker"
+	return http.Header{}, nil
+}
+
+// TestRetryTransportFreshDecodePerAttempt: fields a failed attempt decoded
+// must not survive into the attempt that succeeds.
+func TestRetryTransportFreshDecodePerAttempt(t *testing.T) {
+	rt := &RetryTransport{Next: &partialDecodeTransport{}, Policy: instantPolicy()}
+	var st WireStatus
+	if _, err := rt.Do(context.Background(), "a:1", http.MethodGet, "/cluster/status", nil, &st); err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if st.ID != "fresh-worker" || len(st.Groups) != 0 {
+		t.Fatalf("stale fields from a failed attempt leaked into the result: %+v", st)
+	}
+}
+
 func TestBreakerOpensAndRecovers(t *testing.T) {
 	now := time.Unix(1000, 0)
 	inner := &scriptedTransport{failures: 1 << 30}

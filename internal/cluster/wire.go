@@ -1,12 +1,28 @@
 package cluster
 
 import (
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"nntstream/internal/server"
 	"nntstream/internal/wal"
 )
+
+// fingerprintOf hashes a broadcast payload into its idempotency fingerprint:
+// SHA-256 over the canonical JSON encoding (encoding/json sorts map keys, so
+// equal payloads always hash equal). Empty string means "no fingerprint" and
+// disables verification.
+func fingerprintOf(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
 
 // HeaderLSN is the response header every worker data-plane and replication
 // response carries: the group engine's applied LSN after the operation. The
@@ -27,13 +43,18 @@ const (
 	RoleReplica = "replica"
 )
 
-// WireGroupStatus is one group's state in a worker status report.
+// WireGroupStatus is one group's state in a worker status report. NextQuery
+// and NextStream are the engine's ID allocators (monotonic, unlike the live
+// Queries/Streams counts, which shrink on removal) — the values a restarted
+// coordinator recovers its idempotency counters from.
 type WireGroupStatus struct {
 	Group      int    `json:"group"`
 	Role       string `json:"role"`
 	AppliedLSN uint64 `json:"applied_lsn"`
 	Queries    int    `json:"queries"`
 	Streams    int    `json:"streams"`
+	NextQuery  int    `json:"next_query"`
+	NextStream int    `json:"next_stream"`
 	Timestamps int    `json:"timestamps"`
 }
 
@@ -81,25 +102,33 @@ type WireSnapshot struct {
 // WireAddQuery broadcasts a query registration to a group. Expect is the
 // query ID the coordinator is assigning; a group whose engine has already
 // moved past it treats the request as a retry of an applied broadcast and
-// answers idempotently.
+// answers idempotently — but only when Fingerprint (a hash of the payload)
+// matches what it applied at that ID. A matching key with a different
+// fingerprint is a diverging write and is rejected with 409 rather than
+// silently dropped.
 type WireAddQuery struct {
-	Graph  server.WireGraph `json:"graph"`
-	Expect int              `json:"expect"`
+	Graph       server.WireGraph `json:"graph"`
+	Expect      int              `json:"expect"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
 }
 
 // WireAddStream registers a stream on a group; Expect is the group-local
-// stream ID the coordinator's round-robin placement implies.
+// stream ID the coordinator's round-robin placement implies. Fingerprint
+// binds the idempotency key to the payload exactly as in WireAddQuery.
 type WireAddStream struct {
-	Graph  server.WireGraph `json:"graph"`
-	Expect int              `json:"expect"`
+	Graph       server.WireGraph `json:"graph"`
+	Expect      int              `json:"expect"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
 }
 
 // WireStep advances one global timestamp on a group. Seq is the global step
 // count before this step — the idempotency key — and Changes is keyed by
-// group-local stream ID.
+// group-local stream ID. Fingerprint binds Seq to this group's change
+// payload exactly as in WireAddQuery.
 type WireStep struct {
-	Seq     int                        `json:"seq"`
-	Changes map[string][]server.WireOp `json:"changes"`
+	Seq         int                        `json:"seq"`
+	Changes     map[string][]server.WireOp `json:"changes"`
+	Fingerprint string                     `json:"fingerprint,omitempty"`
 }
 
 // WirePairs carries group-local candidate pairs.

@@ -32,8 +32,16 @@ type WorkerOptions struct {
 	FsyncInterval      time.Duration
 	CheckpointInterval time.Duration
 	// Transport carries replication traffic to peer workers
-	// (&HTTPTransport{} when nil).
+	// (&HTTPTransport{} when nil). It must not retry on the ship path: ship
+	// runs under the engine's commit lock and every delivery is bounded by
+	// ShipTimeout, so a retrying transport only burns that budget re-sending
+	// to a replica the next sync round will repair anyway.
 	Transport Transport
+	// ShipTimeout bounds each in-band record delivery to one replica
+	// (default DefaultShipTimeout). Ship runs under the primary engine's
+	// commit lock, so this is a direct bound on how long a freshly failed
+	// replica can stall a commit before it is marked lagging.
+	ShipTimeout time.Duration
 	// Metrics receives replication observations (a detached set when nil).
 	Metrics *Metrics
 	// WALMetrics is forwarded to each group engine (may be nil).
@@ -58,6 +66,26 @@ type Worker struct {
 	closed bool
 }
 
+// appliedFP remembers the payload fingerprint of the most recently applied
+// broadcast of one kind, keyed by its idempotency slot. The coordinator's
+// counters advance only on full-broadcast success, so a group can be at most
+// one slot ahead of the key a retry carries — remembering the latest apply is
+// enough to tell a genuine retry from a diverging write.
+type appliedFP struct {
+	slot int
+	fp   string
+	ok   bool
+}
+
+// conflicts reports whether a retried broadcast at slot carries a payload
+// other than the one applied there. Unknown fingerprints (either side) give
+// the retry the benefit of the doubt — fingerprints are in-memory, so a
+// promoted or restarted worker cannot verify and keeps the pre-fingerprint
+// idempotent behavior.
+func (a appliedFP) conflicts(slot int, fp string) bool {
+	return a.ok && a.slot == slot && a.fp != "" && fp != "" && a.fp != fp
+}
+
 // workerGroup is one group replica hosted by this worker. Its mutex guards
 // only the role/replica bookkeeping and the engine pointer — it is never
 // held across an engine call or an RPC, which keeps it deadlock-free against
@@ -73,6 +101,26 @@ type workerGroup struct {
 	replicas []string
 	acked    map[string]uint64 // per-replica last acknowledged LSN
 	lagging  map[string]bool   // replicas awaiting a sync round
+
+	// Last applied broadcast fingerprints, one per idempotency-key kind.
+	lastQuery  appliedFP
+	lastStream appliedFP
+	lastStep   appliedFP
+}
+
+// noteApplied records the fingerprint a broadcast was applied with.
+func (g *workerGroup) noteApplied(kind *appliedFP, slot int, fp string) {
+	g.mu.Lock()
+	*kind = appliedFP{slot: slot, fp: fp, ok: true}
+	g.mu.Unlock()
+}
+
+// retryConflicts checks a retried broadcast's fingerprint against the record
+// of what was applied at its slot.
+func (g *workerGroup) retryConflicts(kind *appliedFP, slot int, fp string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return kind.conflicts(slot, fp)
 }
 
 // NewWorker creates a worker storing group data under dir/group-<g>.
@@ -215,12 +263,20 @@ func (g *workerGroup) eng() *core.DurableEngine {
 	return g.engine
 }
 
+// DefaultShipTimeout bounds one in-band record delivery to one replica —
+// deliberately shorter than DefaultRPCTimeout, because the ship path runs
+// under the primary engine's commit lock and a sync round repairs whatever a
+// timed-out delivery missed.
+const DefaultShipTimeout = time.Second
+
 // ship forwards one committed record to every healthy replica. It runs
 // under the primary engine's write lock (OnCommit), which is what serializes
-// shipped records into the same order on every replica. Replicas that fail
-// or report a gap are marked lagging and skipped until a sync round repairs
-// them — the primary never blocks on a broken replica more than one
-// transport deadline per commit.
+// shipped records into the same order on every replica. Every delivery runs
+// under its own ShipTimeout deadline, and replicas that fail or report a gap
+// are marked lagging and skipped until a sync round repairs them — the
+// primary never blocks on a broken replica more than ShipTimeout per commit,
+// even through a retrying transport (the deadline caps the whole attempt
+// chain).
 func (g *workerGroup) ship(r wal.Record) {
 	targets := g.shipTargets()
 	if len(targets) == 0 {
@@ -238,10 +294,16 @@ func (g *workerGroup) ship(r wal.Record) {
 		g.mu.Unlock()
 		return
 	}
+	timeout := g.w.opts.ShipTimeout
+	if timeout <= 0 {
+		timeout = DefaultShipTimeout
+	}
 	for _, addr := range targets {
 		var resp WireReplicateResponse
-		_, err := g.w.transport.Do(context.Background(), addr, http.MethodPost,
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, err := g.w.transport.Do(ctx, addr, http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/replicate", g.id), WireReplicate{Records: enc}, &resp)
+		cancel()
 		g.mu.Lock()
 		if err != nil || resp.Gap {
 			g.lagging[addr] = true
@@ -442,12 +504,15 @@ func (w *Worker) handleStatus(rw http.ResponseWriter, _ *http.Request) {
 		role := g.role
 		g.mu.Unlock()
 		stats := eng.Stats()
+		nextQ, nextS := eng.NextIDs()
 		st.Groups = append(st.Groups, WireGroupStatus{
 			Group:      id,
 			Role:       role,
 			AppliedLSN: eng.AppliedLSN(),
 			Queries:    eng.QueryCount(),
 			Streams:    eng.StreamCount(),
+			NextQuery:  int(nextQ),
+			NextStream: int(nextS),
 			Timestamps: stats.Timestamps,
 		})
 	}
@@ -691,7 +756,14 @@ func (w *Worker) handleAddQuery(rw http.ResponseWriter, r *http.Request) {
 	nextQ, _ := eng.NextIDs()
 	switch {
 	case int(nextQ) > req.Expect:
-		// A retried broadcast this group already applied: answer as before.
+		// A retried broadcast this group already applied: answer as before —
+		// unless the payload differs from what was applied at that ID, which
+		// is a diverging write the coordinator must hear about, not an ack.
+		if g.retryConflicts(&g.lastQuery, req.Expect, req.Fingerprint) {
+			httpError(rw, http.StatusConflict,
+				"group %d already applied a different payload for query id %d", g.id, req.Expect)
+			return
+		}
 		writeDataJSON(rw, eng, http.StatusOK, WireID{ID: req.Expect})
 	case int(nextQ) < req.Expect:
 		httpError(rw, http.StatusConflict,
@@ -702,6 +774,7 @@ func (w *Worker) handleAddQuery(rw http.ResponseWriter, r *http.Request) {
 			httpError(rw, statusFor(err), "%v", err)
 			return
 		}
+		g.noteApplied(&g.lastQuery, int(id), req.Fingerprint)
 		writeDataJSON(rw, eng, http.StatusOK, WireID{ID: int(id)})
 	}
 }
@@ -760,6 +833,11 @@ func (w *Worker) handleAddStream(rw http.ResponseWriter, r *http.Request) {
 	_, nextS := eng.NextIDs()
 	switch {
 	case int(nextS) > req.Expect:
+		if g.retryConflicts(&g.lastStream, req.Expect, req.Fingerprint) {
+			httpError(rw, http.StatusConflict,
+				"group %d already applied a different payload for stream id %d", g.id, req.Expect)
+			return
+		}
 		writeDataJSON(rw, eng, http.StatusOK, WireID{ID: req.Expect})
 	case int(nextS) < req.Expect:
 		httpError(rw, http.StatusConflict,
@@ -770,6 +848,7 @@ func (w *Worker) handleAddStream(rw http.ResponseWriter, r *http.Request) {
 			httpError(rw, statusFor(err), "%v", err)
 			return
 		}
+		g.noteApplied(&g.lastStream, int(id), req.Fingerprint)
 		writeDataJSON(rw, eng, http.StatusOK, WireID{ID: int(id)})
 	}
 }
@@ -793,7 +872,14 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 	ts := eng.Stats().Timestamps
 	if ts > req.Seq {
 		// Already stepped by an earlier attempt of this broadcast; the
-		// candidate set is the post-step state either way.
+		// candidate set is the post-step state either way. A different
+		// payload under the same sequence number is not a retry, though —
+		// that change set was never applied anywhere and must not be acked.
+		if g.retryConflicts(&g.lastStep, req.Seq, req.Fingerprint) {
+			httpError(rw, http.StatusConflict,
+				"group %d already applied a different change set at step %d", g.id, req.Seq)
+			return
+		}
 		writeDataJSON(rw, eng, http.StatusOK, WirePairs{Pairs: toWirePairs(eng.Candidates())})
 		return
 	}
@@ -824,6 +910,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 		httpError(rw, statusFor(err), "%v", err)
 		return
 	}
+	g.noteApplied(&g.lastStep, req.Seq, req.Fingerprint)
 	writeDataJSON(rw, eng, http.StatusOK, WirePairs{Pairs: toWirePairs(pairs)})
 }
 
