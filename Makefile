@@ -11,7 +11,7 @@ BENCHJSON_OUT ?= BENCH_pr.json
 BENCHTIME ?= 100ms
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: verify fmt vet lint build test race crashtest crashtest-cluster fuzzsmoke benchjson benchgate
+.PHONY: verify fmt vet lint lint-fix-audit build test race crashtest crashtest-cluster fuzzsmoke benchjson benchgate
 
 verify: fmt vet lint build test race
 
@@ -25,11 +25,22 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific invariants go vet cannot know about: lock discipline,
-# errors.Is on sentinels, sorted map iteration, WAL append-before-apply, and
-# constant Prometheus metric names. Suppress a conservative finding in place
-# with `//lint:ignore <analyzer> <reason>`.
+# errors.Is on sentinels, sorted map iteration, WAL append-before-apply,
+# constant Prometheus metric names, and the interprocedural call-graph
+# checks (blocking under locks, lock-order cycles, context re-rooting,
+# hot-path allocations). Suppress a conservative finding in place with
+# `//lint:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/nntlint ./...
+
+# Suppression debt review: every active //lint:ignore and //nnt:nonblocking
+# in shipped code, with file:line and the reviewed reason. Fixture
+# suppressions under testdata exercise the mechanism and are excluded, as
+# are the analyzers' own marker-matching string literals (the grep anchors
+# on comment position).
+lint-fix-audit:
+	@grep -rnE --include='*.go' '^[[:space:]]*//(lint:ignore|nnt:nonblocking) ' \
+		cmd internal | grep -v '/testdata/' | sed 's/^[[:space:]]*//' || true
 
 build:
 	$(GO) build ./...
@@ -47,10 +58,19 @@ test:
 # internal/cluster mixes the coordinator's heartbeat goroutine with the data
 # plane and ships WAL records from under the engine lock; internal/retry backs
 # every cluster RPC.
+#
+# Coverage audit against the blockhold/lockorder lock inventory (mutex-holding
+# shipped packages): cluster (Coordinator.mu, workerGroup.mu, FaultTransport.mu),
+# core (DurableEngine.mu, ShardedMonitor.mu), gindex (Filter.mu), obs
+# (Registry.mu), server (Server.mu), wal (Log.mu, fault/atomic wrappers) — all
+# covered below; internal/obs was the gap (its registry is scraped concurrently
+# with engine steps) and is now included. internal/analysis also matches the
+# grep but only inside its own analyzer pattern strings; it runs single-threaded
+# under the driver and stays out of the race gate.
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
 		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/... \
-		./internal/cluster/... ./internal/retry/...
+		./internal/cluster/... ./internal/retry/... ./internal/obs/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
 # writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering

@@ -32,11 +32,27 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one (analyzer, package) run.
+// Pass carries one (analyzer, package) run. Module is shared across every
+// pass of one RunAnalyzers invocation: interprocedural analyzers read the
+// whole-module call graph from it but report only the findings whose
+// position lies in Pkg, so each finding surfaces exactly once.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Module   *Module
 	report   func(Finding)
+}
+
+// ownsPos reports whether the pass's package contains pos — the filter the
+// whole-module analyzers apply before reporting.
+func (p *Pass) ownsPos(pos token.Pos) bool {
+	fname := p.Pkg.Fset.Position(pos).Filename
+	for _, f := range p.Pkg.Files {
+		if p.Pkg.Fset.Position(f.Pos()).Filename == fname {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf records a finding at pos.
@@ -59,9 +75,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five per-package
+// analyzers first, then the four interprocedural ones built on the module
+// call graph.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, SentinelErr, MapDeterm, WALOrder, MetricName}
+	return []*Analyzer{
+		LockSafe, SentinelErr, MapDeterm, WALOrder, MetricName,
+		BlockHold, LockOrder, CtxFlow, HotAlloc,
+	}
 }
 
 // suppressRe parses "//lint:ignore <analyzer> <reason>". The analyzer field
@@ -103,11 +124,13 @@ func fileSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 // suppression without a reason is itself a finding.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var raw []Finding
+	mod := newModule(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
+				Module:   mod,
 				report:   func(f Finding) { raw = append(raw, f) },
 			}
 			a.Run(pass)

@@ -82,6 +82,10 @@ func TestSentinelErrFixture(t *testing.T) { testFixture(t, SentinelErr) }
 func TestMapDetermFixture(t *testing.T)   { testFixture(t, MapDeterm) }
 func TestWALOrderFixture(t *testing.T)    { testFixture(t, WALOrder) }
 func TestMetricNameFixture(t *testing.T)  { testFixture(t, MetricName) }
+func TestBlockHoldFixture(t *testing.T)   { testFixture(t, BlockHold) }
+func TestLockOrderFixture(t *testing.T)   { testFixture(t, LockOrder) }
+func TestCtxFlowFixture(t *testing.T)     { testFixture(t, CtxFlow) }
+func TestHotAllocFixture(t *testing.T)    { testFixture(t, HotAlloc) }
 
 // TestFixturesHaveFlaggedAndCleanCases guards the fixtures themselves: each
 // one must exercise both sides of its analyzer.

@@ -1,0 +1,148 @@
+// Package blockhold exercises the interprocedural no-blocking-under-lock
+// analyzer. The two bad coordinator/engine shapes reproduce the bugs the
+// cluster review caught by hand: probe RPCs issued while the coordinator
+// mutex is held, and WAL shipping under the engine commit lock.
+package blockhold
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// transport abstracts the worker RPC client, like the cluster's Transport.
+type transport interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+type httpTransport struct{ client *http.Client }
+
+func (t *httpTransport) Do(req *http.Request) (*http.Response, error) {
+	return t.client.Do(req) // network I/O is fine outside critical sections
+}
+
+// coordinator mirrors the cluster coordinator: a mutex guarding worker
+// state plus a transport used for probe RPCs.
+type coordinator struct {
+	mu      sync.Mutex
+	tr      transport
+	targets []*http.Request
+}
+
+// badProbeUnderMutex reproduces the heartbeat bug: the probe RPC runs while
+// c.mu is held, so one slow worker stalls every state reader.
+func (c *coordinator) badProbeUnderMutex() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, req := range c.targets {
+		c.tr.Do(req) // want `call to \(\*blockhold.httpTransport\).Do while holding c.mu.Lock\(\) may block: \(\*blockhold.httpTransport\).Do reaches calling \(\*http.Client\).Do \(network I/O\)`
+	}
+}
+
+// goodProbeAfterSnapshot collects the targets under the lock and probes
+// after releasing it — the shape the cluster uses now.
+func (c *coordinator) goodProbeAfterSnapshot() {
+	c.mu.Lock()
+	targets := c.targets
+	c.mu.Unlock()
+	for _, req := range targets {
+		c.tr.Do(req)
+	}
+}
+
+// engine mirrors the commit path: mu is the commit lock and notifyCommit
+// fans out to replication.
+type engine struct {
+	mu  sync.Mutex
+	rep *replicator
+}
+
+type replicator struct{ client *http.Client }
+
+// ship streams WAL segments to a replica: network I/O.
+func (r *replicator) ship() error {
+	resp, err := r.client.Get("http://replica/segments")
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// notifyCommit is the commit-hook body.
+func (e *engine) notifyCommit() {
+	_ = e.rep.ship()
+}
+
+// badShipUnderCommitLock reproduces the shipping bug: the commit lock is
+// held across the replication RPC, two calls deep.
+func (e *engine) badShipUnderCommitLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.notifyCommit() // want `call to \(\*blockhold.engine\).notifyCommit while holding e.mu.Lock\(\) may block: \(\*blockhold.engine\).notifyCommit -> \(\*blockhold.replicator\).ship reaches calling \(\*http.Client\).Get \(network I/O\)`
+}
+
+// goodShipAfterCommit releases the commit lock before shipping.
+func (e *engine) goodShipAfterCommit() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.notifyCommit()
+}
+
+// badDirectOps blocks directly inside the critical section.
+func (e *engine) badDirectOps(ch chan int, wg *sync.WaitGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `calling time.Sleep while holding e.mu.Lock\(\): a critical section must not block`
+	ch <- 1                      // want `channel send while holding e.mu.Lock\(\)`
+	<-ch                         // want `channel receive while holding e.mu.Lock\(\)`
+	wg.Wait()                    // want `calling \(\*sync.WaitGroup\).Wait while holding e.mu.Lock\(\)`
+	select {                     // want `select with no default while holding e.mu.Lock\(\)`
+	case <-ch:
+	}
+	for range ch { // want `range over channel while holding e.mu.Lock\(\)`
+		break
+	}
+}
+
+// goodSelectDefault polls without blocking: a select with a default never
+// parks the goroutine.
+func (e *engine) goodSelectDefault(ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// goodSpawnUnderLock hands the blocking work to a goroutine instead of
+// doing it inline; the spawner itself never blocks.
+func (e *engine) goodSpawnUnderLock(ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() { ch <- 1 }()
+}
+
+// boundedWait waits for a fan-out whose goroutines never touch locks or
+// the network, so the wait is bounded by local compute.
+//
+//nnt:nonblocking the awaited goroutines are compute-only and bounded
+func boundedWait(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// goodAnnotatedCallee may wait under the lock: the reviewed annotation on
+// the callee cuts the traversal for every caller.
+func (e *engine) goodAnnotatedCallee(wg *sync.WaitGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	boundedWait(wg)
+}
+
+// badBareAnnotation loses its exemption: the annotation carries no reason.
+//
+//nnt:nonblocking // want `nnt:nonblocking needs a reason`
+func badBareAnnotation(wg *sync.WaitGroup) {
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+// Package ctxflow exercises context threading: a function that already
+// holds a context.Context must not re-root one with context.Background or
+// context.TODO — directly, or by dropping its context at a call into a
+// context-less helper that re-roots.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// fetch is a ctx-aware callee.
+func fetch(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}
+
+// badDirect re-roots in the middle of a request path.
+func badDirect(ctx context.Context, key string) string {
+	_ = ctx
+	return fetch(context.Background(), key) // want `ctxflow.badDirect receives a context.Context; thread it instead of re-rooting`
+}
+
+// badTODO parks a placeholder context where a real one is in hand.
+func badTODO(ctx context.Context) context.Context {
+	return context.TODO() // want `ctxflow.badTODO receives a context.Context; thread it instead of re-rooting`
+}
+
+// rootHelper is context-less and re-roots internally; on its own that is
+// legal — constructors and daemon loops own their roots.
+func rootHelper(key string) string {
+	return fetch(context.Background(), key)
+}
+
+// badDropped holds a context but drops it at the helper boundary.
+func badDropped(ctx context.Context, key string) string {
+	_ = ctx
+	return rootHelper(key) // want `context dropped at call to ctxflow.rootHelper: the callee takes no context and re-roots one`
+}
+
+// badHandler ignores the request's context.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	_ = fetch(context.Background(), r.URL.Path) // want `ctxflow.badHandler holds an \*http.Request; derive from r.Context\(\)`
+}
+
+// goodThread passes its context through.
+func goodThread(ctx context.Context, key string) string {
+	return fetch(ctx, key)
+}
+
+// goodDetached spawns background work that outlives the request; detached
+// goroutines may re-root.
+func goodDetached(ctx context.Context, key string) {
+	_ = ctx
+	go func() {
+		_ = rootHelper(key)
+	}()
+}
+
+// goodHandler derives from the request context.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	_ = fetch(r.Context(), r.URL.Path)
+}
+
+// goodRoot creates a root context where one is supposed to exist.
+func goodRoot(key string) string {
+	return fetch(context.Background(), key)
+}

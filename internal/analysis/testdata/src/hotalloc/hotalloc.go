@@ -1,0 +1,138 @@
+// Package hotalloc exercises the hot-path allocation gate: //nnt:hotpath
+// functions must contain no allocating constructs, transitively through
+// the call graph.
+package hotalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// dominates is the allocation-free kernel shape: pure compares and index
+// math.
+//
+//nnt:hotpath
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// goodKernel composes hotpath functions and searches with an
+// argument-position closure, which Go's escape analysis keeps on the
+// stack.
+//
+//nnt:hotpath
+func goodKernel(rows [][]float64, probe []float64) int {
+	return sort.Search(len(rows), func(i int) bool {
+		return dominates(rows[i], probe)
+	})
+}
+
+// badMake allocates a scratch buffer on every call.
+//
+//nnt:hotpath
+func badMake(n int) int {
+	buf := make([]int, n) // want `make allocates in //nnt:hotpath function hotalloc.badMake`
+	return len(buf)
+}
+
+// badConcat builds a key by string concatenation.
+//
+//nnt:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates in //nnt:hotpath function hotalloc.badConcat`
+}
+
+// badSprintf formats in the hot loop.
+//
+//nnt:hotpath
+func badSprintf(id int) string {
+	return fmt.Sprintf("q%d", id) // want `call to fmt.Sprintf allocates in //nnt:hotpath function hotalloc.badSprintf`
+}
+
+// pack allocates; it is not annotated, so it is checked only when a
+// hotpath function reaches it.
+func pack(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out
+}
+
+// badTransitive reaches the allocation through an unannotated callee.
+//
+//nnt:hotpath
+func badTransitive(vals []float64) []float64 {
+	return pack(vals) // want `//nnt:hotpath function hotalloc.badTransitive calls hotalloc.pack which allocates: hotalloc.pack \(make allocates\)`
+}
+
+// badEscape stores a closure, which escapes to the heap.
+//
+//nnt:hotpath
+func badEscape(fns *[]func() int, v int) {
+	f := func() int { return v } // want `escaping closure allocates`
+	*fns = append(*fns, f)       // want `append allocates`
+}
+
+type cursor struct{ i, n int }
+
+// badPointerLit returns a heap-escaping literal.
+//
+//nnt:hotpath
+func badPointerLit(n int) *cursor {
+	return &cursor{n: n} // want `&composite literal escapes to the heap`
+}
+
+// badSliceLit builds a throwaway slice.
+//
+//nnt:hotpath
+func badSliceLit(a, b int) int {
+	xs := []int{a, b} // want `slice literal allocates`
+	return xs[0]
+}
+
+// badBytes crosses the string boundary, which copies.
+//
+//nnt:hotpath
+func badBytes(s string) []byte {
+	return []byte(s) // want `string/\[\]byte conversion allocates`
+}
+
+func worker(ch chan int, v int) { ch <- v }
+
+// badSpawn launches a goroutine per event.
+//
+//nnt:hotpath
+func badSpawn(ch chan int, v int) {
+	go worker(ch, v) // want `go statement allocates a goroutine`
+}
+
+// goodValueLit keeps a struct literal on the stack.
+//
+//nnt:hotpath
+func goodValueLit(i, n int) int {
+	c := cursor{i: i, n: n}
+	return c.i + c.n
+}
+
+// goodMapWrite mutates a caller-owned map in place.
+//
+//nnt:hotpath
+func goodMapWrite(m map[int]int, k int) {
+	m[k] = m[k] + 1
+}
+
+// goodSuppressed documents a reviewed cold-start fallback allocation.
+//
+//nnt:hotpath
+func goodSuppressed(n int) []int {
+	//lint:ignore hotalloc cold-start fallback, amortised across the stream
+	return make([]int, n)
+}

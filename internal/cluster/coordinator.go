@@ -136,6 +136,7 @@ func (c *Coordinator) Start(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for g, gp := range c.groups {
+		//lint:ignore blockhold Start is pre-serving: nothing contends for c.mu until it returns, and serving must not begin before roles are pushed
 		if err := c.assignRolesLocked(ctx, g, gp); err != nil {
 			return err
 		}
@@ -143,10 +144,12 @@ func (c *Coordinator) Start(ctx context.Context) error {
 	// Role assignment opened (and WAL-recovered) every group engine, so the
 	// statuses the counters are rebuilt from reflect durable state — a
 	// lazily-opened engine polled earlier would report nothing.
+	//lint:ignore blockhold Start is pre-serving: counter recovery must finish before any handler can take c.mu
 	if err := c.recoverCountersLocked(ctx); err != nil {
 		return err
 	}
 	for g, gp := range c.groups {
+		//lint:ignore blockhold Start is pre-serving: replica catch-up runs before any handler can take c.mu
 		c.syncGroupLocked(ctx, g, gp)
 	}
 	if c.opts.HeartbeatInterval > 0 {
@@ -328,12 +331,14 @@ func (c *Coordinator) PollOnce(ctx context.Context) {
 	}
 
 	for _, id := range revived {
+		//lint:ignore blockhold rejoin must push roles atomically with the placement bookkeeping; the control plane is serialized under c.mu by design
 		c.rejoinLocked(ctx, id)
 	}
 
 	degraded := 0
 	for g, gp := range c.groups {
 		if !c.workers[gp.primary].alive || gp.degraded {
+			//lint:ignore blockhold failover must promote and push roles atomically with the placement bookkeeping; the control plane is serialized under c.mu by design
 			c.failoverLocked(ctx, g, gp)
 		}
 		if gp.degraded {
@@ -488,6 +493,7 @@ func (c *Coordinator) SyncAll(ctx context.Context) {
 		if !c.workers[gp.primary].alive {
 			continue
 		}
+		//lint:ignore blockhold sync fan-out must not interleave with a broadcast advancing the counters; serialized under c.mu by design
 		_, _ = c.transport.Do(ctx, c.cfg.Addr(gp.primary), http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/sync", g), nil, nil)
 	}
@@ -573,6 +579,7 @@ func (c *Coordinator) handleAddQuery(rw http.ResponseWriter, r *http.Request) {
 	fp := fingerprintOf(req.Graph)
 	for g, gp := range c.groups {
 		var resp WireID
+		//lint:ignore blockhold idempotent-broadcast protocol: the Expect counter is read and advanced atomically with the fan-out, which requires holding c.mu across the RPCs
 		hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/queries", g),
 			WireAddQuery{Graph: req.Graph, Expect: id, Fingerprint: fp}, &resp)
@@ -604,6 +611,7 @@ func (c *Coordinator) handleRemoveQuery(rw http.ResponseWriter, r *http.Request)
 	anyRemoved := false
 	for g, gp := range c.groups {
 		var resp WireRemoved
+		//lint:ignore blockhold idempotent-broadcast protocol: removals must not interleave with another broadcast advancing the counters; serialized under c.mu
 		hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodDelete,
 			fmt.Sprintf("/cluster/groups/%d/queries/%d", g, id), nil, &resp)
 		gp.noteAck(hdr)
@@ -639,6 +647,7 @@ func (c *Coordinator) handleAddStream(rw http.ResponseWriter, r *http.Request) {
 	g := c.cfg.GroupOf(global)
 	gp := c.groups[g]
 	var resp WireID
+	//lint:ignore blockhold idempotent-broadcast protocol: the stream counter is read and advanced atomically with the RPC, which requires holding c.mu across it
 	hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 		fmt.Sprintf("/cluster/groups/%d/streams", g),
 		WireAddStream{Graph: req.Graph, Expect: int(c.cfg.LocalOf(global)),
@@ -685,6 +694,7 @@ func (c *Coordinator) handleStep(rw http.ResponseWriter, r *http.Request) {
 	var all []server.WirePair
 	for g, gp := range c.groups {
 		var resp WirePairs
+		//lint:ignore blockhold idempotent-broadcast protocol: the step sequence is read and advanced atomically with the fan-out, which requires holding c.mu across the RPCs
 		hdr, err := c.transport.Do(r.Context(), c.cfg.Addr(gp.primary), http.MethodPost,
 			fmt.Sprintf("/cluster/groups/%d/step", g),
 			WireStep{Seq: seq, Changes: perGroup[g], Fingerprint: fingerprintOf(perGroup[g])}, &resp)
@@ -718,6 +728,7 @@ func (c *Coordinator) handleCandidates(rw http.ResponseWriter, r *http.Request) 
 			return
 		}
 		var resp WirePairs
+		//lint:ignore blockhold proxied reads must not interleave with a broadcast, or groups would answer from different steps; serialized under c.mu
 		hdr, err := c.transport.Do(r.Context(), addr, http.MethodGet,
 			fmt.Sprintf("/cluster/groups/%d/candidates", g), nil, &resp)
 		if err != nil {
@@ -787,6 +798,7 @@ func (c *Coordinator) handleStats(rw http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		var st WireStats
+		//lint:ignore blockhold proxied reads must not interleave with a broadcast, or groups would answer from different steps; serialized under c.mu
 		if _, err := c.transport.Do(r.Context(), addr, http.MethodGet,
 			fmt.Sprintf("/cluster/groups/%d/stats", g), nil, &st); err != nil {
 			continue

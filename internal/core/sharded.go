@@ -282,6 +282,34 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 	}
 
 	start := time.Now()
+	if err := m.applyShards(perShard); err != nil {
+		return nil, err
+	}
+	applyDur := time.Since(start)
+	start = time.Now()
+	cands := m.collect()
+	collectDur := time.Since(start)
+	m.stats.FilterTime += applyDur + collectDur
+
+	// Swap in the staged post-state graphs as the new canonical graphs
+	// (outside the timed section, matching Monitor's accounting of filter
+	// time only).
+	for id, g := range staged {
+		m.streams[id] = g
+	}
+	m.stats.Timestamps++
+	m.stats.CandidatePairs += int64(len(cands))
+	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
+	m.metrics.observeStep(applyDur, collectDur, len(cands), m.stats, len(m.streams), len(m.queries))
+	return cands, nil
+}
+
+// applyShards applies each shard's validated change sets on one goroutine
+// per shard and joins them, returning the first shard error in shard order.
+// Callers hold m.mu.
+//
+//nnt:nonblocking waits only for the shard appliers, which run the filters' compute-bound Apply paths and take no locks
+func (m *ShardedMonitor) applyShards(perShard []map[StreamID]graph.ChangeSet) error {
 	errs := make([]error, len(m.filters))
 	var wg sync.WaitGroup
 	for i, f := range m.filters {
@@ -308,33 +336,19 @@ func (m *ShardedMonitor) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, 
 		}(i, f)
 	}
 	wg.Wait()
-	applyDur := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	start = time.Now()
-	cands := m.collect()
-	collectDur := time.Since(start)
-	m.stats.FilterTime += applyDur + collectDur
-
-	// Swap in the staged post-state graphs as the new canonical graphs
-	// (outside the timed section, matching Monitor's accounting of filter
-	// time only).
-	for id, g := range staged {
-		m.streams[id] = g
-	}
-	m.stats.Timestamps++
-	m.stats.CandidatePairs += int64(len(cands))
-	m.stats.TotalPairs += int64(len(m.streams) * len(m.queries))
-	m.metrics.observeStep(applyDur, collectDur, len(cands), m.stats, len(m.streams), len(m.queries))
-	return cands, nil
+	return nil
 }
 
 // collect merges the shards' candidate sets concurrently. Callers hold at
 // least a read lock; the per-shard goroutines only invoke the filters'
 // Candidates, which the Filter contract requires to be read-safe.
+//
+//nnt:nonblocking waits only for the shards' Candidates fan-out, which is compute-bound and lock-free by the Filter contract
 func (m *ShardedMonitor) collect() []Pair {
 	parts := make([][]Pair, len(m.filters))
 	var wg sync.WaitGroup

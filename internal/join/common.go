@@ -131,7 +131,10 @@ func firstError(errs []error) error {
 // with the number of vectors scanned before deciding (the nested-loop work
 // measure NL exports). The scan runs entirely on the packed kernel: sealed
 // stream vectors against a query vector frozen at registration.
+//
+//nnt:hotpath
 func dominatedByAny(space *npv.Space, u npv.PackedVector) (found bool, scanned int) {
+	//lint:ignore hotalloc Packed's Pack() fallback only runs for dirty or cache-disabled vectors; sealed spaces on this path hit the packed cache allocation-free
 	space.PackedVectors(func(_ graph.VertexID, p npv.PackedVector) bool {
 		scanned++
 		if p.Dominates(u) {

@@ -228,6 +228,8 @@ func (f *NL) evaluateOne(st *streamState, vecs []npv.PackedVector) bool {
 // evalQuery is the pure dominance check one pair task runs: it reads the
 // stream space and the query vectors and touches no filter state, which is
 // what makes the fan-out safe.
+//
+//nnt:hotpath
 func evalQuery(st *streamState, vecs []npv.PackedVector) (bool, int64) {
 	var total int64
 	for _, u := range vecs {

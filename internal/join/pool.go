@@ -50,6 +50,8 @@ func (p *evalPool) size() int {
 // by task i (its result slot and, for per-stream tasks, that stream's
 // state) — run provides the happens-before edge between all tasks and the
 // caller via the WaitGroup join.
+//
+//nnt:nonblocking the join waits only for the batch's own compute-bound tasks, which by contract take no locks and do no I/O
 func (p *evalPool) run(n int, fn func(i int)) {
 	if n <= 0 {
 		return

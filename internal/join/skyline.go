@@ -303,6 +303,8 @@ func (f *Skyline) evaluate(ss *skyStream, maximal []npv.PackedVector) bool {
 // evalMaximal is the pure form of evaluate one pair task runs: it reads
 // the reconciled per-dimension statistics and the query's maximal vectors
 // and touches no filter state, which is what makes the fan-out safe.
+//
+//nnt:hotpath
 func evalMaximal(ss *skyStream, maximal []npv.PackedVector) (bool, int64) {
 	var total int64
 	for _, u := range maximal {
@@ -323,6 +325,8 @@ func evalMaximal(ss *skyStream, maximal []npv.PackedVector) (bool, int64) {
 // the space's sealed packed vectors, so the exact checks run on the
 // sorted-merge kernel; the per-dimension max refutation walks u's packed
 // support in ascending Dim order.
+//
+//nnt:hotpath
 func dominated(ss *skyStream, u npv.PackedVector) (bool, int64) {
 	if u.Len() == 0 {
 		// An empty query vector is dominated by any vertex.
@@ -347,6 +351,7 @@ func dominated(ss *skyStream, u npv.PackedVector) (bool, int64) {
 	var scanned int64
 	for v := range probe.members {
 		scanned++
+		//lint:ignore hotalloc Packed's Pack() fallback only runs for dirty or cache-disabled vectors; the probe reads a space sealed by the same reconcile step, so it hits the packed cache allocation-free
 		if p, ok := ss.st.space.Packed(v); ok && p.Dominates(u) {
 			return true, scanned
 		}

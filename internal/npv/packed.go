@@ -65,6 +65,8 @@ func KernelCounters() (tests, sigRejected int64) {
 // sigBit maps a dimension to one of 64 signature bits. Fibonacci hashing
 // spreads the packed level│from│edge│to encoding (whose entropy sits in
 // scattered bit groups) across the top bits.
+//
+//nnt:hotpath
 func sigBit(d Dim) uint64 {
 	return 1 << (uint64(d) * 0x9E3779B97F4A7C15 >> 58)
 }
@@ -106,6 +108,8 @@ func (p PackedVector) Count(i int) int32 { return p.counts[i] }
 func (p PackedVector) Sig() uint64 { return p.sig }
 
 // Get returns the count for d (zero when absent) by binary search.
+//
+//nnt:hotpath
 func (p PackedVector) Get(d Dim) int32 {
 	if p.sig&sigBit(d) == 0 {
 		return 0
@@ -118,6 +122,8 @@ func (p PackedVector) Get(d Dim) int32 {
 }
 
 // L1 returns the sum of all counts (see Vector.L1).
+//
+//nnt:hotpath
 func (p PackedVector) L1() int64 {
 	var s int64
 	for _, c := range p.counts {
@@ -136,6 +142,8 @@ func (p PackedVector) Unpack() Vector {
 }
 
 // Equal reports entry-wise equality.
+//
+//nnt:hotpath
 func (p PackedVector) Equal(q PackedVector) bool {
 	if len(p.dims) != len(q.dims) || p.sig != q.sig {
 		return false
@@ -155,6 +163,8 @@ func (p PackedVector) String() string { return p.Unpack().String() }
 // exactly as Vector.Dominates does: on every dimension of u's support, p's
 // count is at least u's. The fast rejects run first; the merge walks both
 // sorted supports in lockstep and never allocates.
+//
+//nnt:hotpath
 func (p PackedVector) Dominates(u PackedVector) bool {
 	dominanceTests.Add(1)
 	if len(u.dims) == 0 {

@@ -207,6 +207,8 @@ func (ix *Index) Seal() {
 // postingLess orders postings by count, breaking ties by key so sealed
 // column order is deterministic (the mapdeterm discipline: ties must not
 // depend on registration map iteration).
+//
+//nnt:hotpath
 func postingLess(a, b Posting) bool {
 	if a.Count != b.Count {
 		return a.Count < b.Count
@@ -254,6 +256,8 @@ func (ix *Index) Postings(d npv.Dim) []Posting { return ix.cols[d] }
 
 // UpperBound returns the number of postings with Count ≤ val — the
 // position a stream vertex with count val occupies in the column.
+//
+//nnt:hotpath
 func UpperBound(col []Posting, val int32) int {
 	return sort.Search(len(col), func(i int) bool { return col[i].Count > val })
 }
@@ -320,6 +324,8 @@ func (ix *Index) AffectedQueries(deltas []npv.DirtyDelta) []core.QueryID {
 // (absent dimensions count as zero), so each differing dimension turns
 // into one crossed-range scan; range hits are settled exactly by
 // collectChangedRange's flip test.
+//
+//nnt:hotpath
 func (ix *Index) collectChanged(old, new npv.PackedVector, set map[core.QueryID]struct{}) {
 	sigOld, sigNew := old.Sig(), new.Sig()
 	i, j := 0, 0
@@ -351,6 +357,8 @@ func (ix *Index) collectChanged(old, new npv.PackedVector, set map[core.QueryID]
 // are settled exactly — the query is affected iff dominance by this vertex
 // differs between the old and new vector. Queries already in the set skip
 // every test.
+//
+//nnt:hotpath
 func (ix *Index) collectChangedRange(d npv.Dim, lo, hi int32, old, new npv.PackedVector, sigOld, sigNew uint64, set map[core.QueryID]struct{}) {
 	col := ix.cols[d]
 	if len(col) == 0 {
@@ -375,6 +383,8 @@ func (ix *Index) collectChangedRange(d npv.Dim, lo, hi int32, old, new npv.Packe
 // u has supp(u) ⊆ supp(p) with u[d] ≤ p[d], so u appears in the (0, p[d]]
 // range of every dimension of its own support — the union over p's
 // dimensions cannot miss it.
+//
+//nnt:hotpath
 func (ix *Index) collectReachable(p npv.PackedVector, set map[core.QueryID]struct{}) {
 	sig := p.Sig()
 	for i := 0; i < p.Len(); i++ {

@@ -461,6 +461,8 @@ func (l *Log) Rebase(lsn uint64) error {
 }
 
 // Close stops the background sync (if any), flushes, and closes the file.
+//
+//nnt:nonblocking shutdown path: waits only for the sync loop to observe stop, bounded by one in-flight fsync
 func (l *Log) Close() error {
 	if l.stop != nil {
 		close(l.stop)
