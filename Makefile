@@ -11,7 +11,7 @@ BENCHJSON_OUT ?= BENCH_pr.json
 BENCHTIME ?= 100ms
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: verify fmt vet lint lint-fix-audit build test race crashtest crashtest-cluster fuzzsmoke benchjson benchgate
+.PHONY: verify fmt vet lint lint-fix-audit build test race crashtest crashtest-cluster fuzzsmoke benchjson benchgate loadtest
 
 verify: fmt vet lint build test race
 
@@ -62,15 +62,17 @@ test:
 # Coverage audit against the blockhold/lockorder lock inventory (mutex-holding
 # shipped packages): cluster (Coordinator.mu, workerGroup.mu, FaultTransport.mu),
 # core (DurableEngine.mu, ShardedMonitor.mu), gindex (Filter.mu), obs
-# (Registry.mu), server (Server.mu), wal (Log.mu, fault/atomic wrappers) — all
-# covered below; internal/obs was the gap (its registry is scraped concurrently
-# with engine steps) and is now included. internal/analysis also matches the
-# grep but only inside its own analyzer pattern strings; it runs single-threaded
-# under the driver and stays out of the race gate.
+# (Registry.mu), server (Server.mu, admission.mu), wal (Log.mu, fault/atomic
+# wrappers) — all covered below; internal/obs was the gap (its registry is
+# scraped concurrently with engine steps) and is now included. cmd/loadgen's
+# open-loop scheduler fans HTTP exchanges out across goroutines, so its tests
+# run under the detector too. internal/analysis also matches the grep but only
+# inside its own analyzer pattern strings; it runs single-threaded under the
+# driver and stays out of the race gate.
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
 		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/... \
-		./internal/cluster/... ./internal/retry/... ./internal/obs/...
+		./internal/cluster/... ./internal/retry/... ./internal/obs/... ./cmd/loadgen/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
 # writes/fsyncs, checkpoint crash windows. -count=3 shakes out ordering
@@ -107,10 +109,21 @@ benchjson:
 # default mirrors CI; drop WARN_ONLY for a hard gate. The NPV dominance
 # microbenches run in tens of nanoseconds, where a 100ms smoke -benchtime is
 # far noisier than the end-to-end figures — they get a looser per-bench
-# threshold instead of loosening the global gate.
+# threshold instead of loosening the global gate. The -max-allocs caps are
+# hard even under -warn-only (alloc counts are deterministic): the packed
+# dominance kernel and the ingest frame decoder must stay zero-alloc.
 WARN_ONLY ?= -warn-only
 benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_main.json -candidate $(BENCHJSON_OUT) \
 		-threshold 0.20 \
 		-threshold-for NPV_Dominates_Map=0.50 -threshold-for NPV_Dominates_Packed=0.50 \
+		-threshold-for IngestDecode=0.50 \
+		-max-allocs NPV_Dominates_Packed=0 -max-allocs IngestDecode=0 \
 		$(WARN_ONLY)
+
+# Sustained-throughput drill against a live serve socket (see
+# scripts/loadtest.sh): open-loop sustain + overload phases, asserting the
+# admission control sheds under overload, plus a warn-only trajectory
+# compare against the committed BENCH_load.json. Knobs via LOADTEST_* env.
+loadtest:
+	sh scripts/loadtest.sh

@@ -88,6 +88,7 @@ func benchRegistry() []benchEntry {
 		{"QSweep_DSC/Q1600", func(b *testing.B) { benchQSweep(b, "DSC", 1600) }},
 		{"Ablation_Branch", BenchmarkAblation_Branch},
 		{"Ablation_Exact", BenchmarkAblation_Exact},
+		{"IngestDecode", BenchmarkIngestDecode},
 		{"NPV_Dominates_Map", Benchmark_NPV_Dominates_Map},
 		{"NPV_Dominates_Packed", Benchmark_NPV_Dominates_Packed},
 		{"NNTMaintenance", BenchmarkNNTMaintenance},

@@ -3,7 +3,8 @@
 // regressed past its threshold:
 //
 //	benchgate -baseline BENCH_main.json -candidate BENCH_pr.json \
-//	    [-threshold 0.20] [-threshold-for Bench=0.50 ...] [-warn-only]
+//	    [-threshold 0.20] [-threshold-for Bench=0.50 ...] \
+//	    [-max-allocs Bench=0 ...] [-warn-only]
 //
 // A regression is candidate ns/op > baseline ns/op * (1 + threshold). The
 // global -threshold applies everywhere except benchmarks named by a
@@ -15,11 +16,21 @@
 // are surfaced so noisy comparisons can be discounted. -warn-only
 // downgrades regressions to warnings — CI uses it while the committed
 // baseline is young and short -benchtime runs are noisy.
+//
+// Allocations gate separately from wall time. A repeatable -max-allocs
+// name=N flag caps a benchmark's candidate allocs_per_op at N; exceeding
+// the cap fails the gate even under -warn-only, because allocation counts
+// are deterministic — there is no benchtime noise to forgive. This is how
+// the zero-alloc hot loops (the packed dominance kernel, the ingest frame
+// decoder) stay zero-alloc: -max-allocs Bench=0 turns their discipline into
+// a hard CI invariant. Benchmarks without a cap still get their allocs
+// compared against the baseline, with increases reported as warnings.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -101,6 +112,78 @@ func (o *overrideFlag) Set(s string) error {
 	return nil
 }
 
+// allocCapsFlag parses repeated "-max-allocs name=N" occurrences into a
+// per-benchmark allocation cap, satisfying flag.Value.
+type allocCapsFlag struct {
+	m map[string]int64
+}
+
+func (a *allocCapsFlag) String() string {
+	if a == nil || len(a.m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(a.m))
+	for name, n := range a.m {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (a *allocCapsFlag) Set(s string) error {
+	name, cap, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=allocs, got %q", s)
+	}
+	n, err := strconv.ParseInt(cap, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad alloc count in %q: %v", s, err)
+	}
+	if n < 0 {
+		return fmt.Errorf("alloc cap in %q must be >= 0", s)
+	}
+	if a.m == nil {
+		a.m = make(map[string]int64)
+	}
+	a.m[name] = n
+	return nil
+}
+
+// checkAllocs enforces the -max-allocs caps against the candidate report and
+// surfaces alloc increases versus the baseline for uncapped benchmarks.
+// Returned violations are hard failures — allocation counts are
+// deterministic, so -warn-only never forgives them. A cap naming a
+// benchmark absent from the candidate is a warning, not a pass: a renamed
+// zero-alloc benchmark must not silently lose its gate.
+func checkAllocs(base, cand *benchfmt.Report, caps map[string]int64, w io.Writer) (violations int) {
+	names := make([]string, 0, len(caps))
+	for name := range caps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := cand.Lookup(name)
+		if !ok {
+			fmt.Fprintf(w, "benchgate: warning: -max-allocs %s matches no candidate benchmark\n", name)
+			continue
+		}
+		if c.AllocsPerOp > caps[name] {
+			fmt.Fprintf(w, "ALLOCS   %-32s %d allocs/op exceeds cap %d (hard gate; not subject to -warn-only)\n",
+				name, c.AllocsPerOp, caps[name])
+			violations++
+		}
+	}
+	for _, c := range cand.Results {
+		if _, capped := caps[c.Name]; capped {
+			continue
+		}
+		if b, ok := base.Lookup(c.Name); ok && c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Fprintf(w, "benchgate: warning: %s allocs/op rose %d -> %d\n", c.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	return violations
+}
+
 // compare diffs candidate against baseline. th gives the fractional
 // slowdown tolerated before a benchmark counts as regressed (0.20 = +20%),
 // resolved per benchmark name; the same fraction in the other direction is
@@ -155,7 +238,7 @@ func loadReport(path string) (*benchfmt.Report, error) {
 	return benchfmt.Decode(f)
 }
 
-func run(baselinePath, candidatePath string, th thresholds, warnOnly bool, w *os.File) int {
+func run(baselinePath, candidatePath string, th thresholds, caps map[string]int64, warnOnly bool, w *os.File) int {
 	base, err := loadReport(baselinePath)
 	if err != nil {
 		fmt.Fprintf(w, "benchgate: baseline: %v\n", err)
@@ -194,16 +277,24 @@ func run(baselinePath, candidatePath string, th thresholds, warnOnly bool, w *os
 			regressions++
 		}
 	}
+	allocViolations := checkAllocs(base, cand, caps, w)
+	exit := 0
 	if regressions > 0 {
 		if warnOnly {
 			fmt.Fprintf(w, "benchgate: %d regression(s) past threshold (warn-only; not failing)\n", regressions)
-			return 0
+		} else {
+			fmt.Fprintf(w, "benchgate: %d regression(s) past threshold\n", regressions)
+			exit = 1
 		}
-		fmt.Fprintf(w, "benchgate: %d regression(s) past threshold\n", regressions)
-		return 1
 	}
-	fmt.Fprintln(w, "benchgate: no regressions")
-	return 0
+	if allocViolations > 0 {
+		fmt.Fprintf(w, "benchgate: %d allocation cap violation(s)\n", allocViolations)
+		exit = 1
+	}
+	if exit == 0 && regressions == 0 {
+		fmt.Fprintln(w, "benchgate: no regressions")
+	}
+	return exit
 }
 
 func main() {
@@ -212,12 +303,14 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "fractional ns/op slowdown tolerated before failing")
 	var overrides overrideFlag
 	flag.Var(&overrides, "threshold-for", "per-benchmark threshold override as name=fraction (repeatable)")
-	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
+	var caps allocCapsFlag
+	flag.Var(&caps, "max-allocs", "hard allocs_per_op cap as name=N (repeatable; fails even under -warn-only)")
+	warnOnly := flag.Bool("warn-only", false, "report ns/op regressions but exit 0 (alloc caps still fail)")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" || *threshold < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	th := thresholds{global: *threshold, perBench: overrides.m}
-	os.Exit(run(*baseline, *candidate, th, *warnOnly, os.Stdout))
+	os.Exit(run(*baseline, *candidate, th, caps.m, *warnOnly, os.Stdout))
 }

@@ -161,24 +161,111 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	defer devnull.Close()
 
-	if code := run(base, good, global(0.20), false, devnull); code != 0 {
+	if code := run(base, good, global(0.20), nil, false, devnull); code != 0 {
 		t.Fatalf("within threshold: exit %d; want 0", code)
 	}
-	if code := run(base, bad, global(0.20), false, devnull); code != 1 {
+	if code := run(base, bad, global(0.20), nil, false, devnull); code != 1 {
 		t.Fatalf("regression: exit %d; want 1", code)
 	}
-	if code := run(base, bad, global(0.20), true, devnull); code != 0 {
+	if code := run(base, bad, global(0.20), nil, true, devnull); code != 0 {
 		t.Fatalf("warn-only regression: exit %d; want 0", code)
 	}
-	if code := run(filepath.Join(dir, "absent.json"), good, global(0.20), false, devnull); code != 2 {
+	if code := run(filepath.Join(dir, "absent.json"), good, global(0.20), nil, false, devnull); code != 2 {
 		t.Fatalf("missing baseline: exit %d; want 2", code)
 	}
-	if code := run(base, bad, global(1.5), false, devnull); code != 0 {
+	if code := run(base, bad, global(1.5), nil, false, devnull); code != 0 {
 		t.Fatalf("loose threshold: exit %d; want 0", code)
 	}
 	over := thresholds{global: 0.20, perBench: map[string]float64{"X": 1.5}}
-	if code := run(base, bad, over, false, devnull); code != 0 {
+	if code := run(base, bad, over, nil, false, devnull); code != 0 {
 		t.Fatalf("per-bench override: exit %d; want 0", code)
+	}
+}
+
+func TestAllocCapsFlagParsing(t *testing.T) {
+	var a allocCapsFlag
+	for _, s := range []string{"NPV_Dominates_Packed=0", "IngestDecode=0", "Warm=3"} {
+		if err := a.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if a.m["NPV_Dominates_Packed"] != 0 || a.m["IngestDecode"] != 0 || a.m["Warm"] != 3 {
+		t.Fatalf("parsed caps = %v", a.m)
+	}
+	for _, bad := range []string{"NoEquals", "=0", "X=", "X=1.5", "X=-1", "X=nan"} {
+		if err := a.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted; want error", bad)
+		}
+	}
+	if len(a.m) != 3 {
+		t.Fatalf("rejected inputs mutated the map: %v", a.m)
+	}
+	if s := a.String(); s != "IngestDecode=0,NPV_Dominates_Packed=0,Warm=3" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// allocReport builds a report whose entries carry allocation counts.
+func allocReport(allocs map[string]int64) *benchfmt.Report {
+	r := &benchfmt.Report{GoVersion: "go1.24.0", GoMaxProcs: 1}
+	for name, n := range allocs {
+		r.Add(benchfmt.Result{Name: name, Iterations: 10, NsPerOp: 1000, AllocsPerOp: n})
+	}
+	return r
+}
+
+func TestCheckAllocs(t *testing.T) {
+	base := allocReport(map[string]int64{"Zero": 0, "Grew": 2, "Loose": 5})
+	cand := allocReport(map[string]int64{"Zero": 1, "Grew": 4, "Loose": 5})
+
+	var out strings.Builder
+	v := checkAllocs(base, cand, map[string]int64{"Zero": 0, "Loose": 8, "Ghost": 0}, &out)
+	if v != 1 {
+		t.Fatalf("violations = %d; want 1 (Zero over cap, Loose under, Ghost absent)", v)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ALLOCS") || !strings.Contains(text, "Zero") {
+		t.Errorf("output %q missing hard-gate line for Zero", text)
+	}
+	if !strings.Contains(text, "-max-allocs Ghost matches no candidate benchmark") {
+		t.Errorf("output %q missing warning for absent cap target", text)
+	}
+	// Grew has no cap: its increase is a warning, never a violation.
+	if !strings.Contains(text, "Grew allocs/op rose 2 -> 4") {
+		t.Errorf("output %q missing alloc-increase warning for Grew", text)
+	}
+	if strings.Contains(text, "Loose allocs") {
+		t.Errorf("output %q warns about unchanged Loose", text)
+	}
+}
+
+// TestRunAllocCapHardGate pins the contract that -max-allocs violations fail
+// the gate even under -warn-only: alloc counts are deterministic, so there
+// is no noise to forgive.
+func TestRunAllocCapHardGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", allocReport(map[string]int64{"Hot": 0}))
+	leaky := writeReport(t, dir, "leaky.json", allocReport(map[string]int64{"Hot": 2}))
+	clean := writeReport(t, dir, "clean.json", allocReport(map[string]int64{"Hot": 0}))
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	caps := map[string]int64{"Hot": 0}
+	if code := run(base, clean, global(0.20), caps, false, devnull); code != 0 {
+		t.Fatalf("clean candidate: exit %d; want 0", code)
+	}
+	if code := run(base, leaky, global(0.20), caps, false, devnull); code != 1 {
+		t.Fatalf("cap violation: exit %d; want 1", code)
+	}
+	if code := run(base, leaky, global(0.20), caps, true, devnull); code != 1 {
+		t.Fatalf("cap violation under -warn-only: exit %d; want 1 (hard gate)", code)
+	}
+	if code := run(base, leaky, global(0.20), nil, true, devnull); code != 0 {
+		t.Fatalf("no caps: exit %d; want 0 (increase is warn-only)", code)
 	}
 }
 
@@ -197,7 +284,7 @@ func TestRunWarnsUnknownOverride(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer out.Close()
-		code := run(base, cand, th, false, out)
+		code := run(base, cand, th, nil, false, out)
 		text, err := os.ReadFile(out.Name())
 		if err != nil {
 			t.Fatal(err)

@@ -9,6 +9,8 @@
 //	      [-depth 3] [-shards 0] [-workers 0] [-data-dir dir]
 //	      [-fsync always|interval|never] [-fsync-interval 100ms]
 //	      [-checkpoint-interval 5m] [-max-body-bytes n]
+//	      [-ingest-max-inflight n] [-ingest-rate ops/s] [-ingest-burst ops]
+//	      [-ingest-read-timeout 10s]
 //	      [-pprof addr] [-metrics-interval d] [-drain-timeout 5s]
 //
 // With -worker-id the process instead joins a replicated cluster as a worker
@@ -54,6 +56,10 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush cadence for -fsync interval")
 	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint cadence; 0 disables (checkpoint on shutdown only)")
 	maxBodyBytes := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body size cap (413 above it)")
+	ingestMaxInflight := flag.Int("ingest-max-inflight", 0, "concurrent /v1/ingest budget; extra requests get 429 (0 = unlimited)")
+	ingestRate := flag.Float64("ingest-rate", 0, "per-tenant /v1/ingest quota in edge ops per second (0 = unlimited)")
+	ingestBurst := flag.Float64("ingest-burst", 0, "per-tenant /v1/ingest burst in edge ops (0 = same as -ingest-rate)")
+	ingestReadTimeout := flag.Duration("ingest-read-timeout", 10*time.Second, "per-request /v1/ingest body read deadline; 0 leaves the global read timeout in charge")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log engine stats at this interval (e.g. 30s); 0 disables")
@@ -106,6 +112,12 @@ func main() {
 
 	srv := server.NewWithRegistry(engine, registry)
 	srv.SetMaxBodyBytes(*maxBodyBytes)
+	srv.SetIngestLimits(server.IngestLimits{
+		MaxInFlight: *ingestMaxInflight,
+		TenantRate:  *ingestRate,
+		TenantBurst: *ingestBurst,
+		ReadTimeout: *ingestReadTimeout,
+	})
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -64,7 +64,10 @@ func (r *Report) Encode(w io.Writer) error {
 }
 
 // Decode reads a report and validates the minimum shape benchgate needs:
-// every result is named, named once, and has a positive per-op time.
+// every result is named, named once, has a positive per-op time, and
+// non-negative allocation stats (testing.BenchmarkResult can never produce
+// negative counts, so a negative value means a hand-edited or corrupt file
+// that would silently satisfy any -max-allocs cap).
 func Decode(rd io.Reader) (*Report, error) {
 	dec := json.NewDecoder(rd)
 	dec.DisallowUnknownFields()
@@ -83,6 +86,12 @@ func Decode(rd io.Reader) (*Report, error) {
 		seen[res.Name] = true
 		if res.NsPerOp <= 0 {
 			return nil, fmt.Errorf("benchfmt: result %q has non-positive ns_per_op", res.Name)
+		}
+		if res.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("benchfmt: result %q has negative allocs_per_op", res.Name)
+		}
+		if res.BytesPerOp < 0 {
+			return nil, fmt.Errorf("benchfmt: result %q has negative bytes_per_op", res.Name)
 		}
 	}
 	return &r, nil

@@ -327,6 +327,44 @@ func (d *DurableEngine) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, e
 	return pairs, nil
 }
 
+// StepAllBatch applies a sequence of timestamps under one durability
+// barrier: every step is appended to the WAL and applied in order exactly as
+// N sequential StepAll calls would (same records, same LSNs, bit-identical
+// engine state), but under wal.SyncAlways the whole batch shares a single
+// closing fsync instead of paying one per step — the group commit that makes
+// the batched ingest path's throughput. The ack contract shifts accordingly:
+// no step in the batch is durable until StepAllBatch returns, so callers
+// must not acknowledge any of it earlier.
+//
+// Atomicity is per step, not per batch: each step validates fully before it
+// touches filter state (the StepAll contract), and a step the inner engine
+// rejects is withdrawn from the WAL; steps applied before the failure stay
+// applied and durable. The returned counts say how far the batch got —
+// applied steps and the total candidate pairs those steps reported.
+func (d *DurableEngine) StepAllBatch(batch []map[StreamID]graph.ChangeSet) (applied, pairs int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, 0, errDurableClosed
+	}
+	err = d.log.GroupCommit(func() error {
+		for _, changes := range batch {
+			rec := wal.Record{Kind: wal.KindStepAll, Changes: make(map[int64]graph.ChangeSet, len(changes))}
+			for id, cs := range changes {
+				rec.Changes[int64(id)] = cs
+			}
+			var ps []Pair
+			if err := d.logged(rec, func() (e error) { ps, e = d.inner.StepAll(changes); return }); err != nil {
+				return err
+			}
+			applied++
+			pairs += len(ps)
+		}
+		return nil
+	})
+	return applied, pairs, err
+}
+
 // Checkpoint folds the current state into the checkpoint file atomically and
 // truncates the WAL. Safe to call at any time; concurrent mutations wait.
 func (d *DurableEngine) Checkpoint() error {

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IngestLimits configures the ingest path's admission control. Zero values
+// disable the corresponding control, so the default Server accepts
+// everything (tests, single-user tools) and cmd/serve opts into shedding.
+type IngestLimits struct {
+	// MaxInFlight bounds concurrently executing ingest requests; requests
+	// beyond the budget are shed with 429 before their body is read.
+	MaxInFlight int
+	// TenantRate is the sustained per-tenant budget in edge ops per second,
+	// refilled continuously (token bucket).
+	TenantRate float64
+	// TenantBurst is the bucket capacity — how many ops a tenant can spend
+	// at once after idling. Defaults to TenantRate when zero.
+	TenantBurst float64
+	// ReadTimeout bounds reading one ingest request body, so a slow client
+	// cannot hold an in-flight slot indefinitely. Zero leaves the server's
+	// global read deadline in charge.
+	ReadTimeout time.Duration
+}
+
+// maxQuotaTenants caps the quota table. Above it, the stalest bucket is
+// evicted: an evicted tenant restarts with a full burst, which only ever
+// errs in the tenant's favor, and the table stays bounded under tenant-id
+// churn (hostile or accidental).
+const maxQuotaTenants = 16384
+
+// admission implements the two ingest shedding mechanisms: a global
+// in-flight budget (atomic, contention-free) and per-tenant token buckets
+// (mutex-guarded map, touched once per batch).
+type admission struct {
+	limits   IngestLimits
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test hook
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(limits IngestLimits) *admission {
+	if limits.TenantBurst <= 0 {
+		limits.TenantBurst = limits.TenantRate
+	}
+	return &admission{
+		limits:  limits,
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// acquire claims an in-flight slot; the caller must release() iff it got
+// one. A false return means the budget is exhausted — shed the request.
+func (a *admission) acquire() bool {
+	if a.limits.MaxInFlight <= 0 {
+		a.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := a.inflight.Load()
+		if cur >= int64(a.limits.MaxInFlight) {
+			return false
+		}
+		if a.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// inFlight reports the currently executing ingest requests (for metrics).
+func (a *admission) inFlight() int64 { return a.inflight.Load() }
+
+// admitOps charges cost edge ops against tenant's token bucket. On denial it
+// returns the duration after which the bucket will have refilled enough for
+// this batch — the Retry-After hint.
+func (a *admission) admitOps(tenant string, cost int) (ok bool, retryAfter time.Duration) {
+	if a.limits.TenantRate <= 0 {
+		return true, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		if len(a.buckets) >= maxQuotaTenants {
+			a.evictStalest()
+		}
+		b = &tokenBucket{tokens: a.limits.TenantBurst, last: now}
+		a.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * a.limits.TenantRate
+			if b.tokens > a.limits.TenantBurst {
+				b.tokens = a.limits.TenantBurst
+			}
+		}
+		b.last = now
+	}
+	c := float64(cost)
+	if b.tokens >= c {
+		b.tokens -= c
+		return true, 0
+	}
+	deficit := c - b.tokens
+	wait := time.Duration(deficit / a.limits.TenantRate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After granularity is whole seconds
+	}
+	return false, wait
+}
+
+// evictStalest drops the bucket with the oldest refill time. Called with mu
+// held, and only on the rare fall-over past maxQuotaTenants, so the linear
+// scan is fine.
+func (a *admission) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for tenant, b := range a.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = tenant, b.last, false
+		}
+	}
+	delete(a.buckets, victim)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAdmissionInFlightBudget(t *testing.T) {
+	a := newAdmission(IngestLimits{MaxInFlight: 2})
+	if !a.acquire() || !a.acquire() {
+		t.Fatal("budget of 2 rejected the first two acquires")
+	}
+	if a.acquire() {
+		t.Fatal("third acquire succeeded past a budget of 2")
+	}
+	a.release()
+	if !a.acquire() {
+		t.Fatal("acquire after release rejected")
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Fatalf("inFlight = %d; want 2", got)
+	}
+
+	unlimited := newAdmission(IngestLimits{})
+	for i := 0; i < 100; i++ {
+		if !unlimited.acquire() {
+			t.Fatalf("unlimited admission shed acquire %d", i)
+		}
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := newAdmission(IngestLimits{TenantRate: 10, TenantBurst: 20})
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+
+	// A new tenant starts with a full burst.
+	if ok, _ := a.admitOps("t1", 20); !ok {
+		t.Fatal("full-burst spend denied")
+	}
+	// Empty bucket: denied, with a refill hint proportional to the deficit.
+	ok, retry := a.admitOps("t1", 15)
+	if ok {
+		t.Fatal("empty bucket admitted 15 ops")
+	}
+	if want := 1500 * time.Millisecond; retry != want {
+		t.Fatalf("retryAfter = %v; want %v (15 ops at 10/s)", retry, want)
+	}
+	// One second of refill buys 10 ops.
+	clock = clock.Add(time.Second)
+	if ok, _ := a.admitOps("t1", 10); !ok {
+		t.Fatal("refilled bucket denied 10 ops")
+	}
+	// Refill clamps at the burst: 100 idle seconds do not bank 1000 ops.
+	clock = clock.Add(100 * time.Second)
+	if ok, _ := a.admitOps("t1", 21); ok {
+		t.Fatal("bucket admitted past its burst after idling")
+	}
+	if ok, _ := a.admitOps("t1", 20); !ok {
+		t.Fatal("bucket denied its burst after idling")
+	}
+	// Tenants are independent.
+	if ok, _ := a.admitOps("t2", 20); !ok {
+		t.Fatal("fresh tenant t2 denied its burst")
+	}
+	// Sub-second retry hints round up to the 1s Retry-After granularity.
+	if _, retry := a.admitOps("t2", 1); retry < time.Second {
+		t.Fatalf("retryAfter = %v; want >= 1s", retry)
+	}
+}
+
+func TestAdmissionBurstDefaultsToRate(t *testing.T) {
+	a := newAdmission(IngestLimits{TenantRate: 50})
+	if a.limits.TenantBurst != 50 {
+		t.Fatalf("TenantBurst = %v; want rate (50)", a.limits.TenantBurst)
+	}
+}
+
+func TestAdmissionTenantTableBounded(t *testing.T) {
+	a := newAdmission(IngestLimits{TenantRate: 1, TenantBurst: 1})
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+
+	for i := 0; i < maxQuotaTenants; i++ {
+		clock = clock.Add(time.Millisecond)
+		a.admitOps(fmt.Sprintf("t%d", i), 1)
+	}
+	if len(a.buckets) != maxQuotaTenants {
+		t.Fatalf("buckets = %d; want %d", len(a.buckets), maxQuotaTenants)
+	}
+	// The next new tenant evicts the stalest bucket instead of growing.
+	clock = clock.Add(time.Millisecond)
+	a.admitOps("overflow", 1)
+	if len(a.buckets) != maxQuotaTenants {
+		t.Fatalf("buckets after overflow = %d; want %d (stalest evicted)", len(a.buckets), maxQuotaTenants)
+	}
+	if _, ok := a.buckets["t0"]; ok {
+		t.Fatal("stalest tenant t0 survived the eviction")
+	}
+	if _, ok := a.buckets["overflow"]; !ok {
+		t.Fatal("new tenant missing after eviction")
+	}
+}

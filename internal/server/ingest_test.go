@@ -1,0 +1,424 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nntstream/internal/core"
+	"nntstream/internal/join"
+	"nntstream/internal/obs"
+	"nntstream/internal/wal"
+)
+
+// insFrame renders one canonical step frame inserting a single edge on one
+// stream.
+func insFrame(stream int, u, v int32, ul, vl, el uint16) string {
+	return fmt.Sprintf(`{"changes":[{"stream":%d,"ops":[{"op":"ins","u":%d,"v":%d,"ul":%d,"vl":%d,"el":%d}]}]}`,
+		stream, u, v, ul, vl, el)
+}
+
+func postNDJSON(t *testing.T, url, tenant, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(text)
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, text)
+	}
+	return string(text)
+}
+
+// durableTestServer builds an httptest server over a DurableEngine with WAL
+// metrics exposed, so tests can count fsyncs per request.
+func durableTestServer(t *testing.T) (*httptest.Server, *Server, *wal.Metrics) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	m := wal.NewMetrics(reg)
+	eng, err := core.OpenDurableEngine(t.TempDir(),
+		func() core.Filter { return join.NewDSC(3) },
+		core.DurableOptions{Fsync: wal.SyncAlways, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	s := NewWithRegistry(eng, reg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, s, m
+}
+
+// registerPair registers one query (labels 0-1) and one stream (labels 0-2)
+// and returns the stream id.
+func registerPair(t *testing.T, url string) int {
+	t.Helper()
+	resp, _ := do(t, http.MethodPost, url+"/v1/queries", graphRequest{Graph: edgeGraph(0, 1)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query = %d", resp.StatusCode)
+	}
+	resp, body := do(t, http.MethodPost, url+"/v1/streams", graphRequest{Graph: edgeGraph(0, 2)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add stream = %d", resp.StatusCode)
+	}
+	var sid int
+	if err := json.Unmarshal(body["id"], &sid); err != nil {
+		t.Fatal(err)
+	}
+	return sid
+}
+
+// TestIngestBatchMatchesSequentialSteps is the acceptance criterion: a
+// batched ingest of N steps costs at most one fsync and leaves
+// /v1/candidates bit-identical to N sequential /v1/step calls.
+func TestIngestBatchMatchesSequentialSteps(t *testing.T) {
+	const n = 5
+	batchSrv, _, m := durableTestServer(t)
+	seqSrv, _, _ := durableTestServer(t)
+
+	sidB := registerPair(t, batchSrv.URL)
+	sidS := registerPair(t, seqSrv.URL)
+	if sidB != sidS {
+		t.Fatalf("stream ids diverged: %d vs %d", sidB, sidS)
+	}
+
+	// N steps, each attaching one fresh vertex; step i uses label i%3 so
+	// the candidate set changes over the batch.
+	var frames []string
+	for i := 0; i < n; i++ {
+		frames = append(frames, insFrame(sidB, 0, int32(10+i), 0, uint16(i%3), 0))
+	}
+
+	fsyncsBefore := m.Fsyncs.Value()
+	resp, text := postNDJSON(t, batchSrv.URL, "", strings.Join(frames, "\n")+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, text)
+	}
+	if got := m.Fsyncs.Value() - fsyncsBefore; got > 1 {
+		t.Fatalf("batch of %d steps cost %d fsyncs; want <= 1", n, got)
+	}
+	if !strings.Contains(text, `"steps":5`) || !strings.Contains(text, `"ops":5`) {
+		t.Fatalf("ingest response = %s; want steps=5 ops=5", text)
+	}
+
+	for i := 0; i < n; i++ {
+		step := stepRequest{Changes: map[string][]WireOp{
+			fmt.Sprint(sidS): {{Op: "ins", U: 0, V: int32(10 + i), ULabel: 0, VLabel: uint16(i % 3), ELabel: 0}},
+		}}
+		if resp, _ := do(t, http.MethodPost, seqSrv.URL+"/v1/step", step); resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential step %d = %d", i, resp.StatusCode)
+		}
+	}
+
+	batchCand := getBody(t, batchSrv.URL+"/v1/candidates")
+	seqCand := getBody(t, seqSrv.URL+"/v1/candidates")
+	if batchCand != seqCand {
+		t.Fatalf("candidates diverged:\n  batch: %s\n  seq:   %s", batchCand, seqCand)
+	}
+}
+
+// TestIngestFallbackEngine: an engine without StepAllBatch (plain Monitor)
+// still serves /v1/ingest through the per-step fallback.
+func TestIngestFallbackEngine(t *testing.T) {
+	srv := testServer(t)
+	sid := registerPair(t, srv.URL)
+	resp, text := postNDJSON(t, srv.URL, "",
+		insFrame(sid, 0, 10, 0, 1, 0)+"\n"+insFrame(sid, 0, 11, 0, 2, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, text)
+	}
+	if !strings.Contains(text, `"steps":2`) {
+		t.Fatalf("response = %s; want 2 steps", text)
+	}
+}
+
+// TestIngestMalformedFrameRejectsWholeBatch: a defect on any line rejects
+// the batch before the engine or the WAL sees anything.
+func TestIngestMalformedFrameRejectsWholeBatch(t *testing.T) {
+	srv, s, _ := durableTestServer(t)
+	sid := registerPair(t, srv.URL)
+	d := s.engine.(*core.DurableEngine)
+	lsnBefore := d.LastLSN()
+
+	body := insFrame(sid, 0, 10, 0, 1, 0) + "\n" +
+		`{"changes":[{"stream":` + fmt.Sprint(sid) + `,"ops":[{"op":"zap"}]}]}` + "\n" +
+		insFrame(sid, 0, 11, 0, 1, 0)
+	resp, text := postNDJSON(t, srv.URL, "", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch = %d: %s", resp.StatusCode, text)
+	}
+	if !strings.Contains(text, "line 2") {
+		t.Fatalf("error %q does not name the offending line", text)
+	}
+	if got := d.LastLSN(); got != lsnBefore {
+		t.Fatalf("WAL advanced to LSN %d on a rejected batch (was %d)", got, lsnBefore)
+	}
+	if cand := getBody(t, srv.URL+"/v1/candidates"); !strings.Contains(cand, `"pairs":[]`) {
+		t.Fatalf("engine state changed on a rejected batch: %s", cand)
+	}
+
+	// Duplicate stream within one frame is a decode-stage rejection too.
+	dup := `{"changes":[{"stream":0,"ops":[]},{"stream":0,"ops":[]}]}`
+	if resp, text := postNDJSON(t, srv.URL, "", dup); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(text, "duplicate stream") {
+		t.Fatalf("duplicate-stream frame = %d: %s", resp.StatusCode, text)
+	}
+}
+
+// TestIngestMidBatchApplyFailure: decode-clean steps that the engine rejects
+// (unknown stream) fail per step — earlier steps stay applied and the
+// response reports how far the batch got.
+func TestIngestMidBatchApplyFailure(t *testing.T) {
+	srv, _, _ := durableTestServer(t)
+	sid := registerPair(t, srv.URL)
+	body := insFrame(sid, 0, 10, 0, 1, 0) + "\n" + insFrame(99, 0, 11, 0, 1, 0)
+	resp, text := postNDJSON(t, srv.URL, "", body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-stream batch = %d: %s", resp.StatusCode, text)
+	}
+	if !strings.Contains(text, `"steps_applied":1`) {
+		t.Fatalf("response %q does not report the applied prefix", text)
+	}
+}
+
+func TestIngestRejectsBadRequests(t *testing.T) {
+	srv := testServer(t)
+	if resp, err := http.Get(srv.URL + "/v1/ingest"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest = %d", resp.StatusCode)
+	}
+	if resp, _ := postNDJSON(t, srv.URL, "", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body = %d", resp.StatusCode)
+	}
+	if resp, _ := postNDJSON(t, srv.URL, "", "\n\n  \n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("blank body = %d", resp.StatusCode)
+	}
+}
+
+func TestIngestOversizedBody(t *testing.T) {
+	srv := testServer(t)
+	sid := registerPair(t, srv.URL)
+
+	small := New(core.NewMonitor(join.NewDSC(3)))
+	small.SetMaxBodyBytes(64)
+	smallSrv := httptest.NewServer(small.Handler())
+	t.Cleanup(smallSrv.Close)
+
+	body := insFrame(sid, 0, 10, 0, 1, 0) + "\n" + insFrame(sid, 0, 11, 0, 1, 0)
+	if int64(len(body)) <= 64 {
+		t.Fatalf("test body too small (%d bytes) to trip the 64-byte cap", len(body))
+	}
+	resp, text := postNDJSON(t, smallSrv.URL, "", body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest = %d: %s", resp.StatusCode, text)
+	}
+	// The default cap accepts the same body.
+	if resp, _ := postNDJSON(t, srv.URL, "", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("normal-cap ingest = %d", resp.StatusCode)
+	}
+}
+
+// TestIngestSlowClientTimeout: a client that sends headers but stalls the
+// body is cut off by the per-request read deadline with 408, freeing its
+// in-flight slot.
+func TestIngestSlowClientTimeout(t *testing.T) {
+	s := New(core.NewMonitor(join.NewDSC(3)))
+	s.SetIngestLimits(IngestLimits{ReadTimeout: 150 * time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Promise 4096 body bytes, deliver a fragment, then stall.
+	fmt.Fprintf(conn, "POST /v1/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 4096\r\nContent-Type: application/x-ndjson\r\n\r\n")
+	fmt.Fprintf(conn, `{"changes":`)
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("reading timeout response: %v", err)
+	}
+	if status := string(buf[:n]); !strings.Contains(status, "408") {
+		t.Fatalf("slow-client response = %q; want 408", status)
+	}
+	if got := s.adm.inFlight(); got != 0 {
+		t.Fatalf("in-flight after timeout = %d; want 0 (slot released)", got)
+	}
+}
+
+// TestIngestInFlightBudget: requests past MaxInFlight are shed with 429 and
+// a Retry-After hint before their body is read.
+func TestIngestInFlightBudget(t *testing.T) {
+	s := New(core.NewMonitor(join.NewDSC(3)))
+	s.SetIngestLimits(IngestLimits{MaxInFlight: 1})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	sid := registerPair(t, srv.URL)
+
+	// Occupy the only slot directly, then observe the shed.
+	if !s.adm.acquire() {
+		t.Fatal("acquire on idle admission failed")
+	}
+	resp, text := postNDJSON(t, srv.URL, "", insFrame(sid, 0, 10, 0, 1, 0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget ingest = %d: %s", resp.StatusCode, text)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	s.adm.release()
+	if resp, _ := postNDJSON(t, srv.URL, "", insFrame(sid, 0, 10, 0, 1, 0)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after release = %d", resp.StatusCode)
+	}
+}
+
+// TestIngestTenantQuota: an exhausted tenant is denied with 429 and a
+// Retry-After hint while other tenants keep flowing.
+func TestIngestTenantQuota(t *testing.T) {
+	s := New(core.NewMonitor(join.NewDSC(3)))
+	s.SetIngestLimits(IngestLimits{TenantRate: 0.5, TenantBurst: 2})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	sid := registerPair(t, srv.URL)
+
+	// Two ops drain tenant A's burst.
+	body := insFrame(sid, 0, 10, 0, 1, 0) + "\n" + insFrame(sid, 0, 11, 0, 1, 0)
+	if resp, text := postNDJSON(t, srv.URL, "tenant-a", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first tenant-a batch = %d: %s", resp.StatusCode, text)
+	}
+	resp, text := postNDJSON(t, srv.URL, "tenant-a", insFrame(sid, 0, 12, 0, 1, 0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained tenant-a = %d: %s", resp.StatusCode, text)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q; want a positive hint", ra)
+	}
+	if !strings.Contains(text, "tenant-a") {
+		t.Fatalf("quota denial %q does not name the tenant", text)
+	}
+	// Tenant B is unaffected.
+	if resp, text := postNDJSON(t, srv.URL, "tenant-b", insFrame(sid, 0, 13, 0, 1, 0)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-b batch = %d: %s", resp.StatusCode, text)
+	}
+}
+
+// TestIngestMetricsExported checks the nntstream_ingest_* instruments move
+// with traffic and reach the /v1/metrics exposition.
+func TestIngestMetricsExported(t *testing.T) {
+	srv, s, _ := durableTestServer(t)
+	sid := registerPair(t, srv.URL)
+	if resp, _ := postNDJSON(t, srv.URL, "", insFrame(sid, 0, 10, 0, 1, 0)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	if resp, _ := postNDJSON(t, srv.URL, "", "not a frame"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("malformed ingest accepted")
+	}
+	if got := s.ingest.requests.Value(); got != 2 {
+		t.Fatalf("requests counter = %d; want 2", got)
+	}
+	if got := s.ingest.steps.Value(); got != 1 {
+		t.Fatalf("steps counter = %d; want 1", got)
+	}
+	if got := s.ingest.rejected.Value(); got != 1 {
+		t.Fatalf("rejected counter = %d; want 1", got)
+	}
+	// The in-flight gauge must drain once requests complete — a defer
+	// ordered after the admission release would freeze it at 1 forever.
+	if !strings.Contains(getBody(t, srv.URL+"/v1/metrics"), "nntstream_ingest_inflight 0") {
+		t.Error("nntstream_ingest_inflight did not drain to 0 after requests completed")
+	}
+	text := getBody(t, srv.URL+"/v1/metrics")
+	for _, name := range []string{
+		"nntstream_ingest_requests_total", "nntstream_ingest_steps_total",
+		"nntstream_ingest_ops_total", "nntstream_ingest_rejected_total",
+		"nntstream_ingest_batch_seconds",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/v1/metrics missing %s", name)
+		}
+	}
+}
+
+// TestIngestConcurrentWithReads drives batched writes and read endpoints
+// concurrently — the -race gate's coverage for the ingest path.
+func TestIngestConcurrentWithReads(t *testing.T) {
+	sharded := core.NewShardedMonitorWith(
+		func() core.Filter { return join.NewDSC(3) }, core.ShardedOptions{Shards: 2})
+	s := New(sharded)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	sid := registerPair(t, srv.URL)
+
+	const writers, reads = 4, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				v := int32(100 + w*reads + i)
+				body := insFrame(sid, 0, v, 0, 1, 0) + "\n" + insFrame(sid, 0, v+1000, 0, 2, 0)
+				resp, text := postNDJSON(t, srv.URL, fmt.Sprintf("w%d", w), body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d ingest = %d: %s", w, resp.StatusCode, text)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writers*reads; i++ {
+			for _, path := range []string{"/v1/candidates", "/v1/stats"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+}

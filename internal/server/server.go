@@ -47,6 +47,8 @@ type Server struct {
 	engine       Engine
 	registry     *obs.Registry
 	maxBodyBytes int64
+	adm          *admission
+	ingest       *ingestMetrics
 }
 
 // DefaultMaxBodyBytes caps request bodies: large enough for any realistic
@@ -64,7 +66,13 @@ func New(engine Engine) *Server {
 // (cmd/serve) can register instruments — e.g. WAL durability metrics —
 // alongside the engine's and have them all served from /v1/metrics.
 func NewWithRegistry(engine Engine, reg *obs.Registry) *Server {
-	s := &Server{engine: engine, registry: reg, maxBodyBytes: DefaultMaxBodyBytes}
+	s := &Server{
+		engine:       engine,
+		registry:     reg,
+		maxBodyBytes: DefaultMaxBodyBytes,
+		adm:          newAdmission(IngestLimits{}),
+		ingest:       newIngestMetrics(reg),
+	}
 	if me, ok := engine.(metricsEngine); ok {
 		me.SetMetrics(core.NewEngineMetrics(reg))
 	}
@@ -133,6 +141,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/queries/", s.handleQueryByID)
 	mux.HandleFunc("/v1/streams", s.handleStreams)
 	mux.HandleFunc("/v1/step", s.handleStep)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/candidates", s.handleCandidates)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)

@@ -10,6 +10,7 @@
 //	DELETE /v1/queries/0                               (dynamic filters)
 //	POST   /v1/streams     {"graph": {...}}            → {"id": 0}
 //	POST   /v1/step        {"changes": {"0": [{...}]}} → {"pairs": [...]}
+//	POST   /v1/ingest      NDJSON step frames          → {"steps": n, ...}
 //	GET    /v1/candidates                              → {"pairs": [...]}
 //	GET    /v1/stats
 //	GET    /v1/healthz

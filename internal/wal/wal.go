@@ -107,10 +107,14 @@ type Log struct {
 	offset  int64 // end of the valid frame region (includes the magic)
 	lastLSN uint64
 	policy  SyncPolicy
-	dirty   bool  // bytes written since the last fsync
-	err     error // sticky failure; the log refuses further appends
-	metrics *Metrics
-	scratch []byte
+	dirty   bool // bytes written since the last fsync
+	// deferSync suppresses the per-append SyncAlways fsync inside a
+	// GroupCommit window; the window's closing fsync covers every record
+	// appended within it.
+	deferSync bool
+	err       error // sticky failure; the log refuses further appends
+	metrics   *Metrics
+	scratch   []byte
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -284,10 +288,50 @@ func (l *Log) appendLocked(r Record) error {
 	l.offset += int64(n)
 	l.lastLSN = r.LSN
 	l.dirty = true
-	if l.policy == SyncAlways {
+	if l.policy == SyncAlways && !l.deferSync {
 		return l.syncLocked()
 	}
 	return nil
+}
+
+// GroupCommit runs fn with the per-append SyncAlways fsync deferred, then
+// issues at most one fsync covering every record fn appended — the batched
+// ingest path's group commit. Records appended inside fn are staged exactly
+// as usual (framed, CRC'd, LSN'd) but only become durable when GroupCommit's
+// closing fsync returns, so callers must not acknowledge the batch until
+// GroupCommit itself returns nil. Under SyncInterval and SyncNever the
+// closing fsync is skipped (those policies never promised per-append
+// durability). fn runs without the log lock held: it is expected to call
+// Append/TruncateTo, which take the lock per call. A non-nil error from fn
+// is returned after the closing fsync still runs — records appended before
+// the failure may have been applied by the caller and must reach the disk
+// with the same guarantee as a full batch.
+func (l *Log) GroupCommit(fn func() error) error {
+	l.mu.Lock()
+	if l.err != nil {
+		l.mu.Unlock()
+		return l.err
+	}
+	if l.deferSync {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: nested GroupCommit on %s", l.path)
+	}
+	l.deferSync = true
+	l.mu.Unlock()
+
+	fnErr := fn()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deferSync = false
+	var syncErr error
+	if l.policy == SyncAlways && l.dirty && l.err == nil {
+		syncErr = l.syncLocked()
+	}
+	if fnErr != nil {
+		return fnErr
+	}
+	return syncErr
 }
 
 // Sync forces an fsync regardless of policy.
@@ -415,7 +459,7 @@ func (l *Log) TruncateTo(offset int64, lastLSN uint64) error {
 	l.offset = offset
 	l.lastLSN = lastLSN
 	l.dirty = true
-	if l.policy == SyncAlways {
+	if l.policy == SyncAlways && !l.deferSync {
 		return l.syncLocked()
 	}
 	return nil
