@@ -31,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -142,15 +143,28 @@ type phaseSpec struct {
 // 1/rate seconds from phase start, regardless of completions. Bodies are
 // generated on the scheduling goroutine (the generator is single-threaded
 // state); the HTTP exchange runs in a goroutine per dispatch, capped by
-// maxInFlight — beyond the cap the batch is dropped and counted, never
-// blocking the schedule (that would close the loop).
+// maxInFlight — beyond the cap the batch is dropped and counted locally,
+// never blocking the schedule (that would close the loop). A collector
+// goroutine drains results for the whole phase, so request goroutines can
+// always hand off their sample and the scheduler never waits on the channel
+// — an overload phase can dispatch far more batches than the channel could
+// buffer.
 func runPhase(client *http.Client, target string, gen *workload, ph phaseSpec, tenants, maxInFlight int) []sample {
 	interval := time.Duration(float64(time.Second) / ph.rate)
-	results := make(chan sample, 4*maxInFlight)
+	results := make(chan sample, maxInFlight)
 	slots := make(chan struct{}, maxInFlight)
+	var samples []sample
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for s := range results {
+			samples = append(samples, s)
+		}
+	}()
+	var wg sync.WaitGroup
 	start := time.Now()
 	end := start.Add(ph.length)
-	dispatched := 0
+	dispatched, dropped := 0, 0
 	for next := start; next.Before(end); next = next.Add(interval) {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
@@ -160,17 +174,21 @@ func runPhase(client *http.Client, target string, gen *workload, ph phaseSpec, t
 		dispatched++
 		select {
 		case slots <- struct{}{}:
+			wg.Add(1)
 			go func() {
+				defer wg.Done()
 				defer func() { <-slots }()
 				results <- send(client, target, tenant, body)
 			}()
 		default:
-			results <- sample{status: -1} // client saturated: dropped
+			dropped++ // client saturated: dropped
 		}
 	}
-	samples := make([]sample, 0, dispatched)
-	for len(samples) < dispatched {
-		samples = append(samples, <-results)
+	wg.Wait()
+	close(results)
+	<-collected
+	for i := 0; i < dropped; i++ {
+		samples = append(samples, sample{status: -1})
 	}
 	return samples
 }

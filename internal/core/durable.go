@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -49,6 +50,14 @@ type DurableEngine struct {
 	onCommit func(wal.Record)
 	cpFault  *wal.AtomicFault
 	closed   bool
+
+	// bufferCommits redirects onCommit notifications into pendingCommits
+	// while a StepAllBatch group commit is open: records are not durable
+	// until the batch's closing fsync, so shipping them per step would let a
+	// replica apply state the primary can still lose. StepAllBatch flushes
+	// the buffer only after the fsync succeeds.
+	bufferCommits  bool
+	pendingCommits []wal.Record
 
 	stopCheckpoint chan struct{}
 	checkpointWG   sync.WaitGroup
@@ -262,7 +271,11 @@ func (d *DurableEngine) logged(r wal.Record, apply func() error) error {
 	d.applied = committed
 	if d.onCommit != nil {
 		r.LSN = committed
-		d.onCommit(r)
+		if d.bufferCommits {
+			d.pendingCommits = append(d.pendingCommits, r)
+		} else {
+			d.onCommit(r)
+		}
 	}
 	return nil
 }
@@ -341,12 +354,23 @@ func (d *DurableEngine) StepAll(changes map[StreamID]graph.ChangeSet) ([]Pair, e
 // rejects is withdrawn from the WAL; steps applied before the failure stay
 // applied and durable. The returned counts say how far the batch got —
 // applied steps and the total candidate pairs those steps reported.
+//
+// OnCommit notifications are buffered for the duration of the batch and
+// delivered — in commit order, under the engine's write lock, exactly as
+// StepAll would — only after the group commit's closing fsync succeeds:
+// shipping a record to a replica before it is durable on the primary would
+// invert the durable-before-ship ordering replication depends on. If the
+// closing fsync fails, the error wraps wal.ErrSyncFailed, nothing is
+// shipped, and callers must not acknowledge any step of the batch (the
+// applied counts then describe in-memory state of unknown durability).
 func (d *DurableEngine) StepAllBatch(batch []map[StreamID]graph.ChangeSet) (applied, pairs int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return 0, 0, errDurableClosed
 	}
+	d.bufferCommits = true
+	d.pendingCommits = d.pendingCommits[:0]
 	err = d.log.GroupCommit(func() error {
 		for _, changes := range batch {
 			rec := wal.Record{Kind: wal.KindStepAll, Changes: make(map[int64]graph.ChangeSet, len(changes))}
@@ -362,6 +386,16 @@ func (d *DurableEngine) StepAllBatch(batch []map[StreamID]graph.ChangeSet) (appl
 		}
 		return nil
 	})
+	d.bufferCommits = false
+	if d.onCommit != nil && !errors.Is(err, wal.ErrSyncFailed) {
+		// The applied prefix (whole batch when err is nil) is durable: ship
+		// it. A per-step rejection leaves earlier steps committed, so they
+		// ship exactly as N sequential StepAll calls would have.
+		for _, r := range d.pendingCommits {
+			d.onCommit(r)
+		}
+	}
+	d.pendingCommits = d.pendingCommits[:0]
 	return applied, pairs, err
 }
 

@@ -130,6 +130,129 @@ func TestStepAllBatchMidBatchFailure(t *testing.T) {
 	}
 }
 
+// TestStepAllBatchOnCommitAfterFsync pins the durable-before-ship ordering:
+// OnCommit notifications for a batch fire only after the group commit's
+// closing fsync, in commit order with contiguous LSNs — never per step
+// inside the window, where a crash could still lose what was shipped.
+func TestStepAllBatchOnCommitAfterFsync(t *testing.T) {
+	const n = 3
+	m := wal.NewMetrics(obs.NewRegistry())
+	var shippedLSNs []uint64
+	var fsyncsAtShip []int64
+	d := openDurable(t, t.TempDir(), 1, DurableOptions{
+		Metrics: m,
+		OnCommit: func(r wal.Record) {
+			shippedLSNs = append(shippedLSNs, r.LSN)
+			fsyncsAtShip = append(fsyncsAtShip, m.Fsyncs.Value())
+		},
+	})
+	if _, err := d.AddQuery(lineGraphCore(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddStream(lineGraphCore(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	shippedLSNs, fsyncsAtShip = nil, nil
+	base := m.Fsyncs.Value()
+	firstLSN := d.LastLSN() + 1
+	applied, _, err := d.StepAllBatch(batchSteps(0, n))
+	if err != nil || applied != n {
+		t.Fatalf("StepAllBatch = (%d, _, %v); want (%d, _, nil)", applied, err, n)
+	}
+	if len(shippedLSNs) != n {
+		t.Fatalf("OnCommit fired %d times; want %d", len(shippedLSNs), n)
+	}
+	for i, lsn := range shippedLSNs {
+		if lsn != firstLSN+uint64(i) {
+			t.Fatalf("shipped LSNs %v; want contiguous from %d", shippedLSNs, firstLSN)
+		}
+		if fsyncsAtShip[i] != base+1 {
+			t.Fatalf("OnCommit %d observed %d batch fsyncs; want 1 (ship only after the closing fsync)",
+				i, fsyncsAtShip[i]-base)
+		}
+	}
+}
+
+// TestStepAllBatchMidBatchFailureShipsPrefix: a per-step rejection still
+// ships the applied prefix (the closing fsync ran; those records are
+// durable), and ships nothing for the withdrawn step — exactly what N
+// sequential StepAll calls would have shipped.
+func TestStepAllBatchMidBatchFailureShipsPrefix(t *testing.T) {
+	var shipped []wal.Record
+	d := openDurable(t, t.TempDir(), 1, DurableOptions{
+		OnCommit: func(r wal.Record) { shipped = append(shipped, r) },
+	})
+	if _, err := d.AddQuery(lineGraphCore(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddStream(lineGraphCore(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	shipped = nil
+	steps := batchSteps(0, 3)
+	steps[1] = map[StreamID]graph.ChangeSet{
+		99: {graph.InsertOp(1, 0, 2, 0, 0)}, // unknown stream: apply rejects
+	}
+	applied, _, err := d.StepAllBatch(steps)
+	if !errors.Is(err, ErrUnknownStream) || applied != 1 {
+		t.Fatalf("StepAllBatch = (%d, _, %v); want (1, _, ErrUnknownStream)", applied, err)
+	}
+	if len(shipped) != 1 {
+		t.Fatalf("OnCommit fired %d times after mid-batch failure; want 1 (applied prefix only)", len(shipped))
+	}
+	if shipped[0].LSN != d.LastLSN() {
+		t.Fatalf("shipped LSN %d; want the applied step's %d", shipped[0].LSN, d.LastLSN())
+	}
+}
+
+// failSyncLogFile makes the WAL file's Sync fail on demand, so a batch's
+// closing fsync can be forced to fail after its appends succeeded.
+type failSyncLogFile struct {
+	wal.LogFile
+	fail bool
+}
+
+func (f *failSyncLogFile) Sync() error {
+	if f.fail {
+		return errors.New("injected sync failure")
+	}
+	return f.LogFile.Sync()
+}
+
+// TestStepAllBatchSyncFailureShipsNothing: when the closing fsync fails the
+// batch's durability is unknown, so no record may reach OnCommit — a replica
+// must never apply state the primary can still lose — and the error carries
+// the wal.ErrSyncFailed marker callers use to withhold acknowledgement.
+func TestStepAllBatchSyncFailureShipsNothing(t *testing.T) {
+	ff := &failSyncLogFile{}
+	var shipped []wal.Record
+	d := openDurable(t, t.TempDir(), 1, DurableOptions{
+		OnCommit: func(r wal.Record) { shipped = append(shipped, r) },
+		WrapFile: func(f wal.LogFile) wal.LogFile {
+			ff.LogFile = f
+			return ff
+		},
+	})
+	if _, err := d.AddQuery(lineGraphCore(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddStream(lineGraphCore(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	shipped = nil
+	ff.fail = true
+	_, _, err := d.StepAllBatch(batchSteps(0, 2))
+	if !errors.Is(err, wal.ErrSyncFailed) {
+		t.Fatalf("StepAllBatch with failed closing fsync = %v; want wal.ErrSyncFailed", err)
+	}
+	if len(shipped) != 0 {
+		t.Fatalf("OnCommit fired %d times despite failed closing fsync; want 0", len(shipped))
+	}
+}
+
 // TestStepAllBatchEmpty: an empty batch is a no-op success.
 func TestStepAllBatchEmpty(t *testing.T) {
 	d := openDurable(t, t.TempDir(), 1, DurableOptions{})

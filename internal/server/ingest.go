@@ -13,6 +13,7 @@ import (
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
 	"nntstream/internal/obs"
+	"nntstream/internal/wal"
 )
 
 // BatchStepper is the optional group-commit surface: engines that can apply
@@ -67,7 +68,10 @@ func newIngestMetrics(r *obs.Registry) *ingestMetrics {
 
 // SetIngestLimits replaces the ingest admission-control configuration.
 // Call it before the handler starts serving (it swaps the whole admission
-// state, forgetting tenant buckets).
+// state, forgetting tenant buckets). Requests already in flight are safe
+// either way — each request captures the admission instance it acquired
+// from and releases on that same instance — but a swap mid-serve silently
+// resets in-flight accounting and tenant buckets for new requests.
 func (s *Server) SetIngestLimits(limits IngestLimits) {
 	s.adm = newAdmission(limits)
 }
@@ -84,7 +88,10 @@ type ingestResponse struct {
 // anything, so a malformed frame anywhere rejects the batch with the WAL
 // untouched. Apply-side failures (an unknown stream, an invalid change set)
 // are per step: earlier steps stay applied and durable, and the response
-// reports how far the batch got.
+// reports how far the batch got. The exception is a failed group-commit
+// fsync (wal.ErrSyncFailed): durability of the whole batch is then unknown,
+// so the response reports steps_applied 0 rather than promise a durable
+// prefix.
 //
 // Admission control runs in two stages: the in-flight budget sheds whole
 // requests before their body is read, and the per-tenant token bucket
@@ -97,7 +104,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingest.requests.Inc()
-	if !s.adm.acquire() {
+	// Pin the admission instance for the whole request: a SetIngestLimits
+	// swap mid-request must not let acquire and release land on different
+	// instances (that would drive the new counter negative and permanently
+	// widen the in-flight budget).
+	adm := s.adm
+	if !adm.acquire() {
 		s.ingest.shedInflight.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "ingest in-flight budget exhausted")
@@ -105,12 +117,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// LIFO order matters: release must run before the deferred gauge update,
 	// or the gauge records the pre-release count and never drains to zero.
-	defer func() { s.ingest.inflight.Set(float64(s.adm.inFlight())) }()
-	defer s.adm.release()
-	s.ingest.inflight.Set(float64(s.adm.inFlight()))
+	defer func() { s.ingest.inflight.Set(float64(adm.inFlight())) }()
+	defer adm.release()
+	s.ingest.inflight.Set(float64(adm.inFlight()))
 	start := time.Now()
 
-	if t := s.adm.limits.ReadTimeout; t > 0 {
+	if t := adm.limits.ReadTimeout; t > 0 {
 		// Bound the body read so a slow client cannot camp on an in-flight
 		// slot. Failure to set the deadline (HTTP/2 on some configs) is not
 		// fatal — the outer server's read timeout still applies.
@@ -153,7 +165,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	if ok, retryAfter := s.adm.admitOps(tenant, opCount); !ok {
+	if ok, retryAfter := adm.admitOps(tenant, opCount); !ok {
 		s.ingest.shedQuota.Inc()
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
@@ -180,6 +192,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.ingest.batchSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
+		if errors.Is(err, wal.ErrSyncFailed) {
+			// The group commit's closing fsync did not succeed: the engine's
+			// in-memory state may run ahead of the durable WAL, so no step of
+			// this batch can be promised as durable. Report zero applied with
+			// a distinct error instead of claiming a durable prefix.
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error":         fmt.Sprintf("batch durability unknown: %v", err),
+				"steps_applied": 0,
+			})
+			return
+		}
 		writeJSON(w, statusFor(err), map[string]any{
 			"error":         fmt.Sprintf("step %d: %v", applied, err),
 			"steps_applied": applied,

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"errors"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -160,3 +162,70 @@ func TestGroupCommitTruncateDeferred(t *testing.T) {
 type testError struct{ msg string }
 
 func (e *testError) Error() string { return e.msg }
+
+// failSyncFile wraps a LogFile and makes Sync fail on demand — the
+// closing-fsync fault GroupCommit must surface rather than mask.
+type failSyncFile struct {
+	LogFile
+	fail bool
+}
+
+func (f *failSyncFile) Sync() error {
+	if f.fail {
+		return fmt.Errorf("injected sync failure")
+	}
+	return f.LogFile.Sync()
+}
+
+func openFailSync(t *testing.T) (*Log, *failSyncFile) {
+	t.Helper()
+	ff := &failSyncFile{}
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways, WrapFile: func(f LogFile) LogFile {
+		ff.LogFile = f
+		return ff
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, ff
+}
+
+// TestGroupCommitSyncFailureSurfaced: a failed closing fsync must reach the
+// caller as ErrSyncFailed even though every append inside the window
+// succeeded — records were staged but never made durable, so returning nil
+// would let the caller acknowledge a batch the disk may not hold.
+func TestGroupCommitSyncFailureSurfaced(t *testing.T) {
+	l, ff := openFailSync(t)
+	ff.fail = true
+	err := l.GroupCommit(func() error {
+		_, e := l.Append(stepRecord(1, 2))
+		return e
+	})
+	if !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("GroupCommit with failed closing fsync = %v; want ErrSyncFailed", err)
+	}
+}
+
+// TestGroupCommitFnAndSyncFailure: when fn fails AND the closing fsync
+// fails, the returned error must carry both — the fn error for the caller's
+// per-step handling, and the ErrSyncFailed marker so the applied prefix is
+// not promised as durable.
+func TestGroupCommitFnAndSyncFailure(t *testing.T) {
+	l, ff := openFailSync(t)
+	ff.fail = true
+	wantErr := "apply rejected"
+	err := l.GroupCommit(func() error {
+		if _, e := l.Append(stepRecord(1, 2)); e != nil {
+			return e
+		}
+		return &testError{wantErr}
+	})
+	if !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("GroupCommit = %v; want ErrSyncFailed in the chain", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), wantErr) {
+		t.Fatalf("GroupCommit = %v; want fn error %q preserved", err, wantErr)
+	}
+}

@@ -15,6 +15,7 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -294,18 +295,31 @@ func (l *Log) appendLocked(r Record) error {
 	return nil
 }
 
+// ErrSyncFailed marks a GroupCommit whose closing fsync did not succeed:
+// records staged during the batch — and any in-memory state the caller built
+// on them — are not known durable. Test with errors.Is; callers that promise
+// durability to their own clients must not acknowledge the batch when the
+// returned error carries this marker.
+var ErrSyncFailed = errors.New("wal: group-commit closing fsync failed")
+
 // GroupCommit runs fn with the per-append SyncAlways fsync deferred, then
 // issues at most one fsync covering every record fn appended — the batched
 // ingest path's group commit. Records appended inside fn are staged exactly
 // as usual (framed, CRC'd, LSN'd) but only become durable when GroupCommit's
 // closing fsync returns, so callers must not acknowledge the batch until
-// GroupCommit itself returns nil. Under SyncInterval and SyncNever the
-// closing fsync is skipped (those policies never promised per-append
-// durability). fn runs without the log lock held: it is expected to call
-// Append/TruncateTo, which take the lock per call. A non-nil error from fn
-// is returned after the closing fsync still runs — records appended before
-// the failure may have been applied by the caller and must reach the disk
-// with the same guarantee as a full batch.
+// GroupCommit itself returns without an ErrSyncFailed-marked error. Under
+// SyncInterval and SyncNever the closing fsync is skipped (those policies
+// never promised per-append durability). fn runs without the log lock held:
+// it is expected to call Append/TruncateTo, which take the lock per call.
+//
+// A non-nil error from fn is returned after the closing fsync still runs —
+// records appended before the failure may have been applied by the caller
+// and must reach the disk with the same guarantee as a full batch. When the
+// closing fsync itself fails (or a mid-batch failure left the log in its
+// sticky-error state with unflushed records), the returned error wraps
+// ErrSyncFailed — in addition to fn's error, if fn also failed — so the
+// caller can tell "a step was rejected, the applied prefix is durable" apart
+// from "durability of the whole batch is unknown".
 func (l *Log) GroupCommit(fn func() error) error {
 	l.mu.Lock()
 	if l.err != nil {
@@ -325,13 +339,24 @@ func (l *Log) GroupCommit(fn func() error) error {
 	defer l.mu.Unlock()
 	l.deferSync = false
 	var syncErr error
-	if l.policy == SyncAlways && l.dirty && l.err == nil {
-		syncErr = l.syncLocked()
+	if l.policy == SyncAlways && l.dirty {
+		if l.err != nil {
+			// The log went sticky-failed mid-batch with records still
+			// unflushed; fsync semantics after a failure are undefined, so
+			// the closing fsync is skipped — report instead of masking.
+			syncErr = fmt.Errorf("%w: %w", ErrSyncFailed, l.err)
+		} else if err := l.syncLocked(); err != nil {
+			syncErr = fmt.Errorf("%w: %w", ErrSyncFailed, err)
+		}
 	}
-	if fnErr != nil {
+	switch {
+	case fnErr != nil && syncErr != nil:
+		return fmt.Errorf("%w (and %w)", fnErr, syncErr)
+	case fnErr != nil:
 		return fnErr
+	default:
+		return syncErr
 	}
-	return syncErr
 }
 
 // Sync forces an fsync regardless of policy.
