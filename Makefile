@@ -54,7 +54,9 @@ test:
 # shared read-side state under the sharded engine — both race-critical.
 # internal/npv holds the packed-vector cache read concurrently by that
 # fan-out and the atomic kernel counters. internal/qindex is the sealed
-# query-candidate index read concurrently by the same fan-out.
+# query-candidate index read concurrently by the same fan-out, and
+# internal/factor is the sealed factor table (plus per-stream verdict memos)
+# read by it too.
 # internal/cluster mixes the coordinator's heartbeat goroutine with the data
 # plane and ships WAL records from under the engine lock; internal/retry backs
 # every cluster RPC.
@@ -72,6 +74,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/wal/... \
 		./internal/join/... ./internal/gindex/... ./internal/npv/... ./internal/qindex/... \
+		./internal/factor/... \
 		./internal/cluster/... ./internal/retry/... ./internal/obs/... ./cmd/loadgen/...
 
 # Crash-recovery property tests: WAL torn at every byte, fault-injected
@@ -98,6 +101,7 @@ fuzzsmoke:
 	$(GO) test -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -fuzz=FuzzPackedDominates -fuzztime=$(FUZZTIME) ./internal/npv/
 	$(GO) test -fuzz=FuzzQindexCandidates -fuzztime=$(FUZZTIME) ./internal/qindex/
+	$(GO) test -fuzz=FuzzFactorSeal -fuzztime=$(FUZZTIME) ./internal/factor/
 
 # Record a benchmark trajectory (see benchjson_test.go): every figure bench
 # as JSON, tagged with the current revision.
@@ -117,8 +121,9 @@ benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_main.json -candidate $(BENCHJSON_OUT) \
 		-threshold 0.20 \
 		-threshold-for NPV_Dominates_Map=0.50 -threshold-for NPV_Dominates_Packed=0.50 \
-		-threshold-for IngestDecode=0.50 \
+		-threshold-for IngestDecode=0.50 -threshold-for Factor_ShortCircuit=0.50 \
 		-max-allocs NPV_Dominates_Packed=0 -max-allocs IngestDecode=0 \
+		-max-allocs Factor_ShortCircuit=0 \
 		$(WARN_ONLY)
 
 # Sustained-throughput drill against a live serve socket (see

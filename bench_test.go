@@ -18,6 +18,7 @@ import (
 
 	"nntstream/internal/core"
 	"nntstream/internal/datagen"
+	"nntstream/internal/factor"
 	"nntstream/internal/gindex"
 	"nntstream/internal/graph"
 	"nntstream/internal/graphgrep"
@@ -471,6 +472,160 @@ func BenchmarkQSweep_NLScan(b *testing.B)      { benchQSweepGroup(b, "NLScan") }
 func BenchmarkQSweep_Skyline(b *testing.B)     { benchQSweepGroup(b, "Skyline") }
 func BenchmarkQSweep_SkylineScan(b *testing.B) { benchQSweepGroup(b, "SkylineScan") }
 func BenchmarkQSweep_DSC(b *testing.B)         { benchQSweepGroup(b, "DSC") }
+
+// --- Overlap sweep: shared factor evaluation vs per-query baseline ---
+
+// The factor tentpole claims per-timestamp dominance work sub-linear in the
+// effective query count when queries share structure. The sweep holds the
+// query count fixed (8 templates × 24 variants = 192 queries) and turns the
+// datagen overlap knob: at Ov00 queries are independent random subgraphs, at
+// Ov90 almost the whole edge budget comes from a core shared verbatim by the
+// 24 variants of each template. The factored curve flattening toward high
+// overlap against the NoFactor baseline is the recorded evidence — the
+// shared part of every dominance test collapses into one factor verdict per
+// (vertex, factor) instead of 24 per-query merges.
+var (
+	onceOverlap    sync.Once
+	overlapStreams []*graph.Stream
+	overlapQueries map[string][]*graph.Graph
+)
+
+var overlapLevels = []struct {
+	name string
+	frac float64
+}{{"Ov00", 0.0}, {"Ov50", 0.5}, {"Ov90", 0.9}}
+
+func overlapWorkload(level string) streamBenchWorkload {
+	onceOverlap.Do(func() {
+		cfg := datagen.DefaultStreamWorkload(datagen.FlipConfig{
+			AppearProb: 0.002, DisappearProb: 0.006, Timestamps: 120,
+		})
+		cfg.Gen.NumGraphs = 2
+		w := datagen.SyntheticStreams(cfg, rand.New(rand.NewSource(119)))
+		overlapStreams = w.Streams
+		overlapQueries = make(map[string][]*graph.Graph, len(overlapLevels))
+		r := rand.New(rand.NewSource(120))
+		for _, lv := range overlapLevels {
+			overlapQueries[lv.name] = datagen.OverlapQuerySet(overlapStreams[0].Start,
+				datagen.OverlapConfig{Templates: 8, PerTemplate: 24, Edges: 6, Overlap: lv.frac}, r)
+		}
+	})
+	return streamBenchWorkload{queries: overlapQueries[level], streams: overlapStreams}
+}
+
+func benchQSweepOverlap(b *testing.B, variant, level string) {
+	mk := map[string]func() core.Filter{
+		"NL": func() core.Filter { return join.NewNL(join.DefaultDepth) },
+		"NLNoFactor": func() core.Filter {
+			f := join.NewNL(join.DefaultDepth)
+			f.DisableFactors()
+			return f
+		},
+		"Skyline": func() core.Filter { return join.NewSkyline(join.DefaultDepth) },
+		"SkylineNoFactor": func() core.Filter {
+			f := join.NewSkyline(join.DefaultDepth)
+			f.DisableFactors()
+			return f
+		},
+		"DSC": func() core.Filter { return join.NewDSC(join.DefaultDepth) },
+		"DSCNoFactor": func() core.Filter {
+			f := join.NewDSC(join.DefaultDepth)
+			f.DisableFactors()
+			return f
+		},
+	}[variant]
+	benchStream(b, mk, overlapWorkload(level))
+}
+
+func benchQSweepOverlapGroup(b *testing.B, variant string) {
+	for _, lv := range overlapLevels {
+		b.Run(lv.name, func(b *testing.B) { benchQSweepOverlap(b, variant, lv.name) })
+	}
+}
+
+func BenchmarkQSweepOverlap_NL(b *testing.B)      { benchQSweepOverlapGroup(b, "NL") }
+func BenchmarkQSweepOverlap_Skyline(b *testing.B) { benchQSweepOverlapGroup(b, "Skyline") }
+func BenchmarkQSweepOverlap_DSC(b *testing.B)     { benchQSweepOverlapGroup(b, "DSC") }
+func BenchmarkQSweepOverlap_NLNoFactor(b *testing.B) {
+	benchQSweepOverlapGroup(b, "NLNoFactor")
+}
+func BenchmarkQSweepOverlap_SkylineNoFactor(b *testing.B) {
+	benchQSweepOverlapGroup(b, "SkylineNoFactor")
+}
+func BenchmarkQSweepOverlap_DSCNoFactor(b *testing.B) {
+	benchQSweepOverlapGroup(b, "DSCNoFactor")
+}
+
+// --- factor short-circuit microbenchmark ---
+
+// Benchmark_Factor_ShortCircuit measures one factored dominance test —
+// memoized factor-verdict lookup plus packed residual merge — in isolation,
+// on a sealed table of 16 templates × 4 member queries probed by 64 stream
+// vectors. benchgate caps it at 0 allocs/op: the factor hot path must stay
+// allocation-free just like the raw packed kernel it short-circuits.
+var (
+	onceFactorSC sync.Once
+	fscMemo      *factor.Memo
+	fscStream    []npv.PackedVector
+	fscDecs      []factor.Factored
+	fscSink      bool
+)
+
+func factorSCWorkload() {
+	onceFactorSC.Do(func() {
+		r := rand.New(rand.NewSource(121))
+		tbl := factor.NewTable()
+		var keys []factor.Key
+		for t := 0; t < 16; t++ {
+			base := make(npv.Vector)
+			for len(base) < 8 {
+				base[npv.Dim(r.Intn(64))] = int32(1 + r.Intn(4))
+			}
+			for c := 0; c < 4; c++ {
+				v := make(npv.Vector, len(base)+2)
+				for d, n := range base {
+					v[d] = n
+				}
+				v[npv.Dim(64+r.Intn(32))] = int32(1 + r.Intn(3))
+				k := factor.Key{Query: core.QueryID(4*t + c), Vertex: graph.VertexID(c)}
+				tbl.Add(k, npv.Pack(v))
+				keys = append(keys, k)
+			}
+		}
+		tbl.Seal()
+		for _, k := range keys {
+			dec, ok := tbl.Decomp(k)
+			if !ok {
+				panic("factor bench: missing decomposition")
+			}
+			fscDecs = append(fscDecs, dec)
+		}
+		fscMemo = factor.NewMemo(tbl)
+		for i := 0; i < 64; i++ {
+			v := make(npv.Vector)
+			for d := 0; d < 96; d++ {
+				if r.Intn(3) == 0 {
+					v[npv.Dim(d)] = int32(1 + r.Intn(5))
+				}
+			}
+			p := npv.Pack(v)
+			fscStream = append(fscStream, p)
+			fscMemo.Update(graph.VertexID(i), p, true, nil)
+		}
+	})
+}
+
+func Benchmark_Factor_ShortCircuit(b *testing.B) {
+	factorSCWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		v := i % len(fscStream)
+		sink = fscMemo.Dominated(graph.VertexID(v), fscStream[v], fscDecs[i%len(fscDecs)])
+	}
+	fscSink = sink
+}
 
 // --- Ablation: branch-compatible NNT vs NPV vs exact ---
 

@@ -86,11 +86,30 @@ func benchRegistry() []benchEntry {
 		{"QSweep_DSC/Q16", func(b *testing.B) { benchQSweep(b, "DSC", 16) }},
 		{"QSweep_DSC/Q160", func(b *testing.B) { benchQSweep(b, "DSC", 160) }},
 		{"QSweep_DSC/Q1600", func(b *testing.B) { benchQSweep(b, "DSC", 1600) }},
+		{"QSweepOverlap_NL/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "NL", "Ov00") }},
+		{"QSweepOverlap_NL/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "NL", "Ov50") }},
+		{"QSweepOverlap_NL/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "NL", "Ov90") }},
+		{"QSweepOverlap_NLNoFactor/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "NLNoFactor", "Ov00") }},
+		{"QSweepOverlap_NLNoFactor/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "NLNoFactor", "Ov50") }},
+		{"QSweepOverlap_NLNoFactor/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "NLNoFactor", "Ov90") }},
+		{"QSweepOverlap_Skyline/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "Skyline", "Ov00") }},
+		{"QSweepOverlap_Skyline/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "Skyline", "Ov50") }},
+		{"QSweepOverlap_Skyline/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "Skyline", "Ov90") }},
+		{"QSweepOverlap_SkylineNoFactor/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "SkylineNoFactor", "Ov00") }},
+		{"QSweepOverlap_SkylineNoFactor/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "SkylineNoFactor", "Ov50") }},
+		{"QSweepOverlap_SkylineNoFactor/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "SkylineNoFactor", "Ov90") }},
+		{"QSweepOverlap_DSC/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "DSC", "Ov00") }},
+		{"QSweepOverlap_DSC/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "DSC", "Ov50") }},
+		{"QSweepOverlap_DSC/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "DSC", "Ov90") }},
+		{"QSweepOverlap_DSCNoFactor/Ov00", func(b *testing.B) { benchQSweepOverlap(b, "DSCNoFactor", "Ov00") }},
+		{"QSweepOverlap_DSCNoFactor/Ov50", func(b *testing.B) { benchQSweepOverlap(b, "DSCNoFactor", "Ov50") }},
+		{"QSweepOverlap_DSCNoFactor/Ov90", func(b *testing.B) { benchQSweepOverlap(b, "DSCNoFactor", "Ov90") }},
 		{"Ablation_Branch", BenchmarkAblation_Branch},
 		{"Ablation_Exact", BenchmarkAblation_Exact},
 		{"IngestDecode", BenchmarkIngestDecode},
 		{"NPV_Dominates_Map", Benchmark_NPV_Dominates_Map},
 		{"NPV_Dominates_Packed", Benchmark_NPV_Dominates_Packed},
+		{"Factor_ShortCircuit", Benchmark_Factor_ShortCircuit},
 		{"NNTMaintenance", BenchmarkNNTMaintenance},
 		{"VF2HardInstance", BenchmarkVF2HardInstance},
 	}

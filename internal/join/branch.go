@@ -6,6 +6,7 @@ import (
 	"nntstream/internal/core"
 	"nntstream/internal/graph"
 	"nntstream/internal/nnt"
+	"nntstream/internal/obs"
 )
 
 // Branch is the branch-compatible NNT filter of Lemma 4.1, without the NPV
@@ -15,17 +16,45 @@ import (
 // while NPV dominance tracks per-dimension multiplicities — and is more
 // expensive per comparison, which is exactly the trade-off Section IV's
 // projection was designed around. It exists for the ablation experiment.
+//
+// Query NNTs are interned by their canonical label trie: template-derived
+// query sets repeat whole trees, and two trees with equal tries have
+// identical compatibility verdicts against every data tree (the trie *is*
+// the branch set — Lemma 4.1 only reads branches). Each stream therefore
+// evaluates every distinct trie once per timestamp and all queries sharing
+// it reuse the verdict — the branch-trie analog of the NPV factor table.
 type Branch struct {
-	depth   int
-	queries map[core.QueryID][]*nnt.Node
-	streams map[core.StreamID]*branchStream
+	depth int
+	// queries maps each query to the interning keys of its vertex tries.
+	queries map[core.QueryID][]string
+	// interned holds one representative NNT per distinct query trie, with a
+	// reference count for teardown on query removal.
+	interned map[string]*internedTrie
+	streams  map[core.StreamID]*branchStream
+	// trieEvals counts representative-trie evaluations over the run;
+	// together with the per-query verdict reads it measures the work the
+	// interning shares (see CollectMetrics).
+	trieEvals int64
+	trieReads int64
+}
+
+// internedTrie is one distinct query trie: the representative NNT root it
+// was built from and the number of query vertices referencing it.
+type internedTrie struct {
+	root *nnt.Node
+	refs int
 }
 
 type branchStream struct {
 	st *streamState
 	// tries caches the label trie of each stream vertex's NNT; entries of
 	// dirty vertices are rebuilt lazily.
-	tries   map[graph.VertexID]*nnt.Trie
+	tries map[graph.VertexID]*nnt.Trie
+	// shared caches this timestamp's verdict per interned query trie —
+	// computed once, read by every query referencing the trie. Cleared
+	// when any stream vertex changes (a changed tree can flip any trie's
+	// verdict; Branch has no per-trie change tracking).
+	shared  map[string]bool
 	verdict map[core.QueryID]bool
 }
 
@@ -34,9 +63,10 @@ var _ core.DynamicFilter = (*Branch)(nil)
 // NewBranch returns a branch-compatibility filter with the given NNT depth.
 func NewBranch(depth int) *Branch {
 	return &Branch{
-		depth:   depth,
-		queries: make(map[core.QueryID][]*nnt.Node),
-		streams: make(map[core.StreamID]*branchStream),
+		depth:    depth,
+		queries:  make(map[core.QueryID][]string),
+		interned: make(map[string]*internedTrie),
+		streams:  make(map[core.StreamID]*branchStream),
 	}
 }
 
@@ -49,22 +79,41 @@ func (f *Branch) AddQuery(id core.QueryID, q *graph.Graph) error {
 		return fmt.Errorf("join: duplicate query %d", id)
 	}
 	forest := nnt.NewForest(q, f.depth)
-	var roots []*nnt.Node
+	var keys []string
 	forest.Roots(func(_ graph.VertexID, root *nnt.Node) bool {
-		roots = append(roots, root)
+		key := nnt.BuildTrie(root).Canonical()
+		ent := f.interned[key]
+		if ent == nil {
+			ent = &internedTrie{root: root}
+			f.interned[key] = ent
+		}
+		ent.refs++
+		keys = append(keys, key)
 		return true
 	})
-	f.queries[id] = roots
+	f.queries[id] = keys
 	for _, bs := range f.streams {
-		bs.verdict[id] = f.evaluateOne(bs, roots)
+		bs.verdict[id] = f.evaluateOne(bs, keys)
 	}
 	return nil
 }
 
-// RemoveQuery implements core.DynamicFilter.
+// RemoveQuery implements core.DynamicFilter: interned tries the query was
+// the last reference of are torn down with it.
 func (f *Branch) RemoveQuery(id core.QueryID) error {
-	if _, ok := f.queries[id]; !ok {
+	keys, ok := f.queries[id]
+	if !ok {
 		return fmt.Errorf("join: unknown query %d", id)
+	}
+	for _, key := range keys {
+		ent := f.interned[key]
+		ent.refs--
+		if ent.refs == 0 {
+			delete(f.interned, key)
+			for _, bs := range f.streams {
+				delete(bs.shared, key)
+			}
+		}
 	}
 	delete(f.queries, id)
 	for _, bs := range f.streams {
@@ -79,8 +128,9 @@ func (f *Branch) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	bs := &branchStream{
-		st:      newStreamState(g0, f.depth, false),
+		st:      newStreamState(g0, f.depth, false, nil),
 		tries:   make(map[graph.VertexID]*nnt.Trie),
+		shared:  make(map[string]bool),
 		verdict: make(map[core.QueryID]bool, len(f.queries)),
 	}
 	f.streams[id] = bs
@@ -105,6 +155,7 @@ func (f *Branch) Apply(id core.StreamID, cs graph.ChangeSet) error {
 	for _, v := range dirty {
 		delete(bs.tries, v) // rebuilt lazily on next probe
 	}
+	clear(bs.shared) // any change can flip any trie's verdict
 	f.evaluate(bs)
 	return nil
 }
@@ -119,26 +170,41 @@ func (f *Branch) trie(bs *branchStream, v graph.VertexID, root *nnt.Node) *nnt.T
 }
 
 func (f *Branch) evaluate(bs *branchStream) {
-	for qid, qroots := range f.queries {
-		bs.verdict[qid] = f.evaluateOne(bs, qroots)
+	for qid, keys := range f.queries {
+		bs.verdict[qid] = f.evaluateOne(bs, keys)
 	}
 }
 
-func (f *Branch) evaluateOne(bs *branchStream, qroots []*nnt.Node) bool {
-	for _, qr := range qroots {
-		found := false
-		bs.st.forest.Roots(func(v graph.VertexID, root *nnt.Node) bool {
-			if f.trie(bs, v, root).ContainsBranches(qr) {
-				found = true
-				return false
-			}
-			return true
-		})
-		if !found {
+// evaluateOne answers one query by reading (or computing, first reader per
+// timestamp) the shared verdict of each of its interned tries.
+func (f *Branch) evaluateOne(bs *branchStream, keys []string) bool {
+	for _, key := range keys {
+		f.trieReads++
+		ok, cached := bs.shared[key]
+		if !cached {
+			ok = f.evalTrie(bs, f.interned[key].root)
+			bs.shared[key] = ok
+		}
+		if !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// evalTrie reports whether some stream vertex's NNT contains every branch
+// of the representative query tree.
+func (f *Branch) evalTrie(bs *branchStream, qr *nnt.Node) bool {
+	f.trieEvals++
+	found := false
+	bs.st.forest.Roots(func(v graph.VertexID, root *nnt.Node) bool {
+		if f.trie(bs, v, root).ContainsBranches(qr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // Candidates implements core.Filter.
@@ -152,4 +218,20 @@ func (f *Branch) Candidates() []core.Pair {
 		}
 	}
 	return core.SortPairs(out)
+}
+
+var _ obs.Collector = (*Branch)(nil)
+
+// CollectMetrics implements obs.Collector with the interning effectiveness:
+// distinct tries vs registered references, and evaluations actually run vs
+// verdict reads served.
+func (f *Branch) CollectMetrics(emit func(name string, value float64)) {
+	refs := 0
+	for _, ent := range f.interned {
+		refs += ent.refs
+	}
+	emit("nntstream_branch_interned_tries", float64(len(f.interned)))
+	emit("nntstream_branch_trie_refs", float64(refs))
+	emit("nntstream_branch_trie_evals_total", float64(f.trieEvals))
+	emit("nntstream_branch_trie_reads_total", float64(f.trieReads))
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"nntstream/internal/core"
+	"nntstream/internal/factor"
 	"nntstream/internal/graph"
 	"nntstream/internal/nnt"
 	"nntstream/internal/npv"
@@ -35,26 +36,49 @@ import (
 const DefaultDepth = 3
 
 // streamState bundles the incrementally maintained feature structures of
-// one stream: its NNT forest and the projected vector space observing it.
+// one stream: its NNT forest, the projected vector space observing it, and
+// — when the owning filter factors its query set — the per-(vertex, factor)
+// verdict memo those factored tests short-circuit through.
 type streamState struct {
 	forest *nnt.Forest
 	space  *npv.Space
+	memo   *factor.Memo
 }
 
 // newStreamState builds the stream's feature structures. packed enables the
 // space's PackedVector cache: filters whose evaluation runs on the packed
-// dominance kernel (NL, Skyline) pass true so every timestamp's TakeDirty
-// seals the dirty vertices into packed form; counter-based DSC and the
-// NNT-only Branch filter pass false and skip the sealing cost entirely.
-func newStreamState(g0 *graph.Graph, depth int, packed bool) *streamState {
+// dominance kernel (NL, Skyline) pass true so every timestamp's seal
+// freezes the dirty vertices into packed form; counter-based DSC and the
+// NNT-only Branch filter pass false and skip the sealing cost — except
+// that a non-nil factor table forces packing on, because the factor memo
+// evaluates the shared sub-vectors on the packed kernel at each seal.
+func newStreamState(g0 *graph.Graph, depth int, packed bool, tbl *factor.Table) *streamState {
 	space := npv.NewSpace()
-	if packed {
+	if packed || tbl != nil {
 		space.EnablePacking()
 	}
-	return &streamState{
+	st := &streamState{
 		forest: nnt.NewForest(g0, depth, space),
 		space:  space,
 	}
+	if tbl != nil {
+		st.memo = factor.NewMemo(tbl)
+	}
+	return st
+}
+
+// sealDeltas seals the stream's dirty vertices into packed form and folds
+// the transitions into the factor memo — the once-per-(vertex, factor,
+// timestamp) shared evaluation. It mutates only this stream's state, so it
+// belongs in the per-stream maintenance stage of a parallel batch; the
+// memo is immutable (read-only) during the per-(stream, query) fan-out
+// that follows. Requires packing (every caller enables it).
+func (s *streamState) sealDeltas() []npv.DirtyDelta {
+	deltas := s.space.SealDirty()
+	if s.memo != nil {
+		s.memo.ApplyDeltas(deltas)
+	}
+	return deltas
 }
 
 func (s *streamState) apply(cs graph.ChangeSet) error {
@@ -127,17 +151,59 @@ func firstError(errs []error) error {
 	return nil
 }
 
-// dominatedByAny reports whether any vector in the space dominates u, along
-// with the number of vectors scanned before deciding (the nested-loop work
-// measure NL exports). The scan runs entirely on the packed kernel: sealed
-// stream vectors against a query vector frozen at registration.
+// unfactoredAll wraps a query's packed vectors as trivial decompositions —
+// the evaluation form filters use when factoring is disabled.
+func unfactoredAll(vecs []npv.PackedVector) []factor.Factored {
+	out := make([]factor.Factored, len(vecs))
+	for i, p := range vecs {
+		out[i] = factor.Unfactored(p)
+	}
+	return out
+}
+
+// decompAll fetches the table's decompositions of a query's vectors, which
+// registration keyed by slice position (the qindex.Key convention). The
+// table must be sealed.
+func decompAll(tbl *factor.Table, id core.QueryID, n int) []factor.Factored {
+	out := make([]factor.Factored, n)
+	for i := range out {
+		d, ok := tbl.Decomp(factor.Key{Query: id, Vertex: graph.VertexID(i)})
+		if !ok {
+			panic(fmt.Sprintf("join: query %d vector %d missing from sealed factor table", id, i))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// dominatedByAny reports whether any vector in the stream's space dominates
+// u, along with the number of vectors scanned before deciding (the
+// nested-loop work measure NL exports). The scan runs entirely on the
+// packed kernel — sealed stream vectors against a query decomposition
+// frozen at registration. For a factored decomposition the probe loop
+// walks only the memoized dominators of u's factor (a complete candidate
+// set: factors are lower envelopes, so a vertex that doesn't dominate the
+// factor dominates no member) and settles each with a merge over the small
+// residual — the whole-space scan survives only for unfactored vectors.
 //
 //nnt:hotpath
-func dominatedByAny(space *npv.Space, u npv.PackedVector) (found bool, scanned int) {
+func dominatedByAny(st *streamState, u factor.Factored) (found bool, scanned int) {
+	if u.Factor != factor.None {
+		st.memo.DominatorsOf(u.Factor, func(v graph.VertexID) bool {
+			scanned++
+			//lint:ignore hotalloc Packed's Pack() fallback only runs for dirty or cache-disabled vectors; sealed spaces on this path hit the packed cache allocation-free
+			if p, ok := st.space.Packed(v); ok && p.Dominates(u.Residual) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found, scanned
+	}
 	//lint:ignore hotalloc Packed's Pack() fallback only runs for dirty or cache-disabled vectors; sealed spaces on this path hit the packed cache allocation-free
-	space.PackedVectors(func(_ graph.VertexID, p npv.PackedVector) bool {
+	st.space.PackedVectors(func(v graph.VertexID, p npv.PackedVector) bool {
 		scanned++
-		if p.Dominates(u) {
+		if st.memo.Dominated(v, p, u) {
 			found = true
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nntstream/internal/core"
+	"nntstream/internal/factor"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
@@ -33,6 +34,13 @@ type NL struct {
 	// reference).
 	ix      *qindex.Index
 	indexed bool
+	// ft is the shared-factor table over the registered query vectors and
+	// fq their evaluation-time decompositions (nil table = factoring
+	// disabled, fq holds trivial decompositions). Like ix, the table is
+	// immutable within a timestamp; per-stream memos update in the
+	// per-stream maintenance stage only.
+	ft *factor.Table
+	fq map[core.QueryID][]factor.Factored
 	// vectorScans counts stream vectors scanned during dominance checks over
 	// the run. Written only on the (serialized) maintenance path — parallel
 	// batches accumulate per-task counts and merge them after the join — and
@@ -56,6 +64,8 @@ func NewNL(depth int) *NL {
 		verdict: make(map[core.StreamID]map[core.QueryID]bool),
 		ix:      qindex.New(),
 		indexed: true,
+		ft:      factor.NewTable(),
+		fq:      make(map[core.QueryID][]factor.Factored),
 	}
 }
 
@@ -69,6 +79,37 @@ func (f *NL) DisableQueryIndex() {
 		panic("join: DisableQueryIndex after registration")
 	}
 	f.indexed = false
+}
+
+// DisableFactors turns off shared-factor evaluation: every query vector is
+// tested by the full packed merge, with no memo short-circuit. It exists as
+// the benchmark baseline and the reference the factored path is tested
+// bit-identical against, and must be called before any query or stream is
+// registered.
+func (f *NL) DisableFactors() {
+	if len(f.queries) != 0 || len(f.streams) != 0 {
+		panic("join: DisableFactors after registration")
+	}
+	f.ft = nil
+}
+
+// SetFactorThresholds forwards discovery thresholds to the factor table
+// (see factor.Table); panics once factoring is disabled or sealed.
+func (f *NL) SetFactorThresholds(minSupport, minDims int) {
+	f.ft.SetMinSupport(minSupport)
+	f.ft.SetMinDims(minDims)
+}
+
+// rebuildFactored re-derives every query's decomposition and every
+// stream's memo from the (re)sealed factor table. Per-key writes are
+// order-independent, so the map iteration order is immaterial.
+func (f *NL) rebuildFactored() {
+	for qid, vecs := range f.queries {
+		f.fq[qid] = decompAll(f.ft, qid, len(vecs))
+	}
+	for _, st := range f.streams {
+		st.memo.Rebuild(st.space)
+	}
 }
 
 // Name implements core.Filter.
@@ -91,8 +132,29 @@ func (f *NL) AddQuery(id core.QueryID, q *graph.Graph) error {
 			f.ix.Add(qindex.Key{Query: id, Vertex: graph.VertexID(i)}, u)
 		}
 	}
+	switch {
+	case f.ft == nil:
+		f.fq[id] = unfactoredAll(vecs)
+	case f.ft.Sealed():
+		// Live addition: match against the existing factors; when churn has
+		// piled up, re-discover and rebuild the decompositions and memos.
+		for i, u := range vecs {
+			f.ft.Add(factor.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+		if f.ft.MaybeReseal() {
+			f.rebuildFactored()
+		} else {
+			f.fq[id] = decompAll(f.ft, id, len(vecs))
+		}
+	default:
+		// Pre-seal: store only; decompositions appear when the first stream
+		// seals the table, and nothing evaluates before then.
+		for i, u := range vecs {
+			f.ft.Add(factor.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+	}
 	for sid, st := range f.streams {
-		f.verdict[sid][id] = f.evaluateOne(st, vecs)
+		f.verdict[sid][id] = f.evaluateOne(st, f.fq[id])
 	}
 	return nil
 }
@@ -104,7 +166,14 @@ func (f *NL) RemoveQuery(id core.QueryID) error {
 		return fmt.Errorf("join: unknown query %d", id)
 	}
 	delete(f.queries, id)
+	delete(f.fq, id)
 	f.ix.RemoveQuery(id)
+	if f.ft != nil {
+		f.ft.RemoveQuery(id)
+		if f.ft.Sealed() && f.ft.MaybeReseal() {
+			f.rebuildFactored()
+		}
+	}
 	for _, m := range f.verdict {
 		delete(m, id)
 	}
@@ -118,8 +187,14 @@ func (f *NL) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	f.ix.Seal()
-	st := newStreamState(g0, f.depth, true)
-	st.space.TakeDirty()
+	if f.ft != nil && !f.ft.Sealed() {
+		// Discovery runs once over the full pre-seal query set; the first
+		// stream has no predecessors, so no memos need rebuilding.
+		f.ft.Seal()
+		f.rebuildFactored()
+	}
+	st := newStreamState(g0, f.depth, true, f.ft)
+	st.sealDeltas()
 	f.streams[id] = st
 	f.verdict[id] = make(map[core.QueryID]bool, len(f.queries))
 	f.evaluate(id)
@@ -139,12 +214,12 @@ func (f *NL) Apply(id core.StreamID, cs graph.ChangeSet) error {
 		return nil // nothing changed; verdicts stand
 	}
 	if !f.indexed {
-		st.space.TakeDirty() // unindexed NL re-evaluates wholesale
+		st.sealDeltas() // unindexed NL re-evaluates wholesale
 		f.evaluate(id)
 		return nil
 	}
-	for _, qid := range f.ix.AffectedQueries(st.space.SealDirty()) {
-		f.verdict[id][qid] = f.evaluateOne(st, f.queries[qid])
+	for _, qid := range f.ix.AffectedQueries(st.sealDeltas()) {
+		f.verdict[id][qid] = f.evaluateOne(st, f.fq[qid])
 	}
 	return nil
 }
@@ -181,10 +256,12 @@ func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 		if f.indexed {
 			// Candidate generation reads the sealed, immutable index plus
 			// atomic counters, so running it inside the per-stream task is
-			// race-free; the result lands in this task's own slot.
-			cands[i] = f.ix.AffectedQueries(st.space.SealDirty())
+			// race-free; the result lands in this task's own slot. The
+			// factor memo updates here too — it is this stream's private
+			// state, and the pair stage below only reads it.
+			cands[i] = f.ix.AffectedQueries(st.sealDeltas())
 		} else {
-			st.space.TakeDirty()
+			st.sealDeltas()
 			cands[i] = allQ
 		}
 	})
@@ -202,7 +279,7 @@ func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 	scans := make([]int64, len(tasks))
 	f.pool.run(len(tasks), func(i int) {
 		t := tasks[i]
-		verdicts[i], scans[i] = evalQuery(f.streams[t.sid], f.queries[t.qid])
+		verdicts[i], scans[i] = evalQuery(f.streams[t.sid], f.fq[t.qid])
 	})
 	for i, t := range tasks {
 		f.verdict[t.sid][t.qid] = verdicts[i]
@@ -214,26 +291,26 @@ func (f *NL) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 // evaluate re-derives the verdicts of all queries against stream id.
 func (f *NL) evaluate(id core.StreamID) {
 	st := f.streams[id]
-	for qid, vecs := range f.queries {
-		f.verdict[id][qid] = f.evaluateOne(st, vecs)
+	for qid := range f.queries {
+		f.verdict[id][qid] = f.evaluateOne(st, f.fq[qid])
 	}
 }
 
-func (f *NL) evaluateOne(st *streamState, vecs []npv.PackedVector) bool {
+func (f *NL) evaluateOne(st *streamState, vecs []factor.Factored) bool {
 	ok, scanned := evalQuery(st, vecs)
 	f.vectorScans += scanned
 	return ok
 }
 
 // evalQuery is the pure dominance check one pair task runs: it reads the
-// stream space and the query vectors and touches no filter state, which is
-// what makes the fan-out safe.
+// stream space, the factor memo, and the query decompositions, and touches
+// no filter state, which is what makes the fan-out safe.
 //
 //nnt:hotpath
-func evalQuery(st *streamState, vecs []npv.PackedVector) (bool, int64) {
+func evalQuery(st *streamState, vecs []factor.Factored) (bool, int64) {
 	var total int64
 	for _, u := range vecs {
-		found, scanned := dominatedByAny(st.space, u)
+		found, scanned := dominatedByAny(st, u)
 		total += int64(scanned)
 		if !found {
 			return false, total
@@ -268,6 +345,9 @@ func (f *NL) CollectMetrics(emit func(name string, value float64)) {
 	emit("nntstream_nl_query_vectors", float64(qvecs))
 	emit("nntstream_nl_vector_scans_total", float64(f.vectorScans))
 	emit("nntstream_qindex_postings", float64(f.ix.PostingCount()))
+	if f.ft != nil {
+		f.ft.CollectMetrics(emit)
+	}
 	svecs, nodes := 0, 0
 	for _, st := range f.streams {
 		svecs += st.space.Len()

@@ -201,17 +201,26 @@ func assertTornDown(t *testing.T, f core.DynamicFilter) {
 		if n := ff.ix.PostingCount(); n != 0 {
 			t.Fatalf("NL: %d index postings leaked", n)
 		}
-		if ff.ix.QueryCount() != 0 || len(ff.queries) != 0 {
-			t.Fatalf("NL: query state leaked: index=%d packed=%d",
-				ff.ix.QueryCount(), len(ff.queries))
+		if ff.ix.QueryCount() != 0 || len(ff.queries) != 0 || len(ff.fq) != 0 {
+			t.Fatalf("NL: query state leaked: index=%d packed=%d factored=%d",
+				ff.ix.QueryCount(), len(ff.queries), len(ff.fq))
+		}
+		if ff.ft != nil && ff.ft.VectorCount() != 0 {
+			t.Fatalf("NL: %d factor-table vectors leaked", ff.ft.VectorCount())
 		}
 	case *DSC:
 		if n := ff.ix.PostingCount(); n != 0 {
 			t.Fatalf("DSC: %d column postings leaked", n)
 		}
-		if len(ff.nnz) != 0 || len(ff.qvecs) != 0 || len(ff.qsize) != 0 {
-			t.Fatalf("DSC: query maps leaked: nnz=%d qvecs=%d qsize=%d",
-				len(ff.nnz), len(ff.qvecs), len(ff.qsize))
+		if len(ff.nnz) != 0 || len(ff.fdec) != 0 || len(ff.qsize) != 0 || len(ff.pending) != 0 {
+			t.Fatalf("DSC: query maps leaked: nnz=%d fdec=%d qsize=%d pending=%d",
+				len(ff.nnz), len(ff.fdec), len(ff.qsize), len(ff.pending))
+		}
+		if len(ff.fmembers) != 0 {
+			t.Fatalf("DSC: %d factor membership lists leaked", len(ff.fmembers))
+		}
+		if ff.ft != nil && ff.ft.VectorCount() != 0 {
+			t.Fatalf("DSC: %d factor-table vectors leaked", ff.ft.VectorCount())
 		}
 		for sid, ds := range ff.streams {
 			if len(ds.pos) != 0 || len(ds.dom) != 0 || len(ds.cover) != 0 || len(ds.covered) != 0 {
@@ -223,9 +232,12 @@ func assertTornDown(t *testing.T, f core.DynamicFilter) {
 		if n := ff.ix.PostingCount(); n != 0 {
 			t.Fatalf("Skyline: %d index postings leaked", n)
 		}
-		if ff.ix.QueryCount() != 0 || len(ff.queries) != 0 {
-			t.Fatalf("Skyline: query state leaked: index=%d maximal=%d",
-				ff.ix.QueryCount(), len(ff.queries))
+		if ff.ix.QueryCount() != 0 || len(ff.queries) != 0 || len(ff.fq) != 0 {
+			t.Fatalf("Skyline: query state leaked: index=%d maximal=%d factored=%d",
+				ff.ix.QueryCount(), len(ff.queries), len(ff.fq))
+		}
+		if ff.ft != nil && ff.ft.VectorCount() != 0 {
+			t.Fatalf("Skyline: %d factor-table vectors leaked", ff.ft.VectorCount())
 		}
 		for sid, ss := range ff.streams {
 			if len(ss.verdict) != 0 {

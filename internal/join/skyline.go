@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nntstream/internal/core"
+	"nntstream/internal/factor"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 	"nntstream/internal/obs"
@@ -39,6 +40,10 @@ type Skyline struct {
 	// gates it (true by default).
 	ix      *qindex.Index
 	indexed bool
+	// ft factors the maximal vectors across queries and fq holds their
+	// evaluation-time decompositions (nil table = factoring disabled).
+	ft *factor.Table
+	fq map[core.QueryID][]factor.Factored
 	// probeScans counts stream vectors scanned inside dominated's probe loop
 	// over the run — the work the per-dimension max refutation saves.
 	// Written only on the (serialized) maintenance path — parallel batches
@@ -78,6 +83,8 @@ func NewSkyline(depth int) *Skyline {
 		streams: make(map[core.StreamID]*skyStream),
 		ix:      qindex.New(),
 		indexed: true,
+		ft:      factor.NewTable(),
+		fq:      make(map[core.QueryID][]factor.Factored),
 	}
 }
 
@@ -89,6 +96,32 @@ func (f *Skyline) DisableQueryIndex() {
 		panic("join: DisableQueryIndex after registration")
 	}
 	f.indexed = false
+}
+
+// DisableFactors turns off shared-factor evaluation (see NL.DisableFactors);
+// must be called before any query or stream is registered.
+func (f *Skyline) DisableFactors() {
+	if len(f.queries) != 0 || len(f.streams) != 0 {
+		panic("join: DisableFactors after registration")
+	}
+	f.ft = nil
+}
+
+// SetFactorThresholds forwards discovery thresholds to the factor table.
+func (f *Skyline) SetFactorThresholds(minSupport, minDims int) {
+	f.ft.SetMinSupport(minSupport)
+	f.ft.SetMinDims(minDims)
+}
+
+// rebuildFactored re-derives every query's decomposition and every
+// stream's memo from the (re)sealed factor table.
+func (f *Skyline) rebuildFactored() {
+	for qid, maximal := range f.queries {
+		f.fq[qid] = decompAll(f.ft, qid, len(maximal))
+	}
+	for _, ss := range f.streams {
+		ss.st.memo.Rebuild(ss.st.space)
+	}
 }
 
 // Name implements core.Filter.
@@ -114,8 +147,25 @@ func (f *Skyline) AddQuery(id core.QueryID, q *graph.Graph) error {
 			f.ix.Add(qindex.Key{Query: id, Vertex: graph.VertexID(i)}, u)
 		}
 	}
+	switch {
+	case f.ft == nil:
+		f.fq[id] = unfactoredAll(maximal)
+	case f.ft.Sealed():
+		for i, u := range maximal {
+			f.ft.Add(factor.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+		if f.ft.MaybeReseal() {
+			f.rebuildFactored()
+		} else {
+			f.fq[id] = decompAll(f.ft, id, len(maximal))
+		}
+	default:
+		for i, u := range maximal {
+			f.ft.Add(factor.Key{Query: id, Vertex: graph.VertexID(i)}, u)
+		}
+	}
 	for _, ss := range f.streams {
-		ss.verdict[id] = f.evaluate(ss, maximal)
+		ss.verdict[id] = f.evaluate(ss, f.fq[id])
 	}
 	return nil
 }
@@ -127,7 +177,14 @@ func (f *Skyline) RemoveQuery(id core.QueryID) error {
 		return fmt.Errorf("join: unknown query %d", id)
 	}
 	delete(f.queries, id)
+	delete(f.fq, id)
 	f.ix.RemoveQuery(id)
+	if f.ft != nil {
+		f.ft.RemoveQuery(id)
+		if f.ft.Sealed() && f.ft.MaybeReseal() {
+			f.rebuildFactored()
+		}
+	}
 	for _, ss := range f.streams {
 		delete(ss.verdict, id)
 	}
@@ -140,8 +197,12 @@ func (f *Skyline) AddStream(id core.StreamID, g0 *graph.Graph) error {
 		return fmt.Errorf("join: duplicate stream %d", id)
 	}
 	f.ix.Seal()
+	if f.ft != nil && !f.ft.Sealed() {
+		f.ft.Seal()
+		f.rebuildFactored()
+	}
 	ss := &skyStream{
-		st:      newStreamState(g0, f.depth, true),
+		st:      newStreamState(g0, f.depth, true, f.ft),
 		prev:    make(map[graph.VertexID]npv.Vector),
 		dims:    make(map[npv.Dim]*dimStat),
 		verdict: make(map[core.QueryID]bool, len(f.queries)),
@@ -213,7 +274,7 @@ func (f *Skyline) ApplyAll(changes map[core.StreamID]graph.ChangeSet) error {
 	scans := make([]int64, len(tasks))
 	f.pool.run(len(tasks), func(i int) {
 		t := tasks[i]
-		verdicts[i], scans[i] = evalMaximal(f.streams[t.sid], f.queries[t.qid])
+		verdicts[i], scans[i] = evalMaximal(f.streams[t.sid], f.fq[t.qid])
 	})
 	for i, t := range tasks {
 		f.streams[t.sid].verdict[t.qid] = verdicts[i]
@@ -232,22 +293,22 @@ func (f *Skyline) refresh(ss *skyStream) {
 		return
 	}
 	if !f.indexed || len(ss.verdict) != len(f.queries) {
-		for qid, maximal := range f.queries {
-			ss.verdict[qid] = f.evaluate(ss, maximal)
+		for qid := range f.queries {
+			ss.verdict[qid] = f.evaluate(ss, f.fq[qid])
 		}
 		return
 	}
 	for _, qid := range f.ix.AffectedQueries(deltas) {
-		ss.verdict[qid] = f.evaluate(ss, f.queries[qid])
+		ss.verdict[qid] = f.evaluate(ss, f.fq[qid])
 	}
 }
 
 // reconcile folds the stream's dirty vertices into its per-dimension
-// statistics and returns their seal transitions (nil when no vector
-// changed). It mutates only ss, so distinct streams reconcile
-// independently.
+// statistics — and their seal transitions into the factor memo — and
+// returns the transitions (nil when no vector changed). It mutates only
+// ss, so distinct streams reconcile independently.
 func (f *Skyline) reconcile(ss *skyStream) []npv.DirtyDelta {
-	deltas := ss.st.space.SealDirty()
+	deltas := ss.st.sealDeltas()
 	for _, dl := range deltas {
 		v := dl.Vertex
 		// Deregister the old vector.
@@ -294,18 +355,19 @@ func (f *Skyline) reconcile(ss *skyStream) []npv.DirtyDelta {
 
 // evaluate reports joinability: true iff every maximal query vector is
 // dominated by some stream vector.
-func (f *Skyline) evaluate(ss *skyStream, maximal []npv.PackedVector) bool {
+func (f *Skyline) evaluate(ss *skyStream, maximal []factor.Factored) bool {
 	ok, scanned := evalMaximal(ss, maximal)
 	f.probeScans += scanned
 	return ok
 }
 
 // evalMaximal is the pure form of evaluate one pair task runs: it reads
-// the reconciled per-dimension statistics and the query's maximal vectors
-// and touches no filter state, which is what makes the fan-out safe.
+// the reconciled per-dimension statistics, the factor memo, and the
+// query's maximal-vector decompositions, and touches no filter state,
+// which is what makes the fan-out safe.
 //
 //nnt:hotpath
-func evalMaximal(ss *skyStream, maximal []npv.PackedVector) (bool, int64) {
+func evalMaximal(ss *skyStream, maximal []factor.Factored) (bool, int64) {
 	var total int64
 	for _, u := range maximal {
 		ok, scanned := dominated(ss, u)
@@ -321,21 +383,20 @@ func evalMaximal(ss *skyStream, maximal []npv.PackedVector) (bool, int64) {
 
 // dominated implements the stream-side probe for one query vector,
 // reporting the number of stream vectors scanned in the probe loop. The
-// query vector arrives packed (frozen at registration) and the probe reads
-// the space's sealed packed vectors, so the exact checks run on the
-// sorted-merge kernel; the per-dimension max refutation walks u's packed
-// support in ascending Dim order.
+// refutation and probe-dimension selection run on the full vector (they
+// reason about u as a whole); the per-member exact check short-circuits
+// through the factor memo before paying for u's residual merge.
 //
 //nnt:hotpath
-func dominated(ss *skyStream, u npv.PackedVector) (bool, int64) {
-	if u.Len() == 0 {
+func dominated(ss *skyStream, u factor.Factored) (bool, int64) {
+	if u.Full.Len() == 0 {
 		// An empty query vector is dominated by any vertex.
 		return len(ss.prev) > 0, 0
 	}
 	var probe *dimStat
-	for i := 0; i < u.Len(); i++ {
-		stat := ss.dims[u.Dim(i)]
-		if stat == nil || u.Count(i) > stat.max {
+	for i := 0; i < u.Full.Len(); i++ {
+		stat := ss.dims[u.Full.Dim(i)]
+		if stat == nil || u.Full.Count(i) > stat.max {
 			// No stream vector reaches u in dimension d: u is a skyline
 			// point, refuted in O(|support|).
 			return false, 0
@@ -352,7 +413,7 @@ func dominated(ss *skyStream, u npv.PackedVector) (bool, int64) {
 	for v := range probe.members {
 		scanned++
 		//lint:ignore hotalloc Packed's Pack() fallback only runs for dirty or cache-disabled vectors; the probe reads a space sealed by the same reconcile step, so it hits the packed cache allocation-free
-		if p, ok := ss.st.space.Packed(v); ok && p.Dominates(u) {
+		if p, ok := ss.st.space.Packed(v); ok && ss.st.memo.Dominated(v, p, u) {
 			return true, scanned
 		}
 	}
@@ -373,6 +434,9 @@ func (f *Skyline) CollectMetrics(emit func(name string, value float64)) {
 	emit("nntstream_skyline_maximal_query_vectors", float64(maximal))
 	emit("nntstream_skyline_probe_scans_total", float64(f.probeScans))
 	emit("nntstream_qindex_postings", float64(f.ix.PostingCount()))
+	if f.ft != nil {
+		f.ft.CollectMetrics(emit)
+	}
 	dims, vecs, nodes := 0, 0, 0
 	for _, ss := range f.streams {
 		dims += len(ss.dims)

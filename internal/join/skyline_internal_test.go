@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nntstream/internal/core"
+	"nntstream/internal/factor"
 	"nntstream/internal/graph"
 	"nntstream/internal/npv"
 )
@@ -36,10 +37,11 @@ func TestSkylineDominatedEmptyQueryVector(t *testing.T) {
 
 	// Direct unit check of the probe.
 	ss := f.streams[0]
-	if ok, _ := dominated(ss, npv.Pack(npv.Vector{})); ok {
+	empty0 := factor.Unfactored(npv.Pack(npv.Vector{}))
+	if ok, _ := dominated(ss, empty0); ok {
 		t.Fatal("empty stream should not dominate the empty vector")
 	}
-	if ok, _ := dominated(f.streams[1], npv.Pack(npv.Vector{})); !ok {
+	if ok, _ := dominated(f.streams[1], empty0); !ok {
 		t.Fatal("non-empty stream should dominate the empty vector")
 	}
 }
@@ -100,7 +102,7 @@ func TestSkylineRetiredVertex(t *testing.T) {
 
 	// The query vector is now refuted via the per-dimension max fast path:
 	// its dimensions have no members at all.
-	u := f.queries[0][0]
+	u := f.fq[0][0]
 	if ok, _ := dominated(ss, u); ok {
 		t.Fatal("retired vertices must not dominate the query vector")
 	}

@@ -1,6 +1,10 @@
 package nnt
 
-import "nntstream/internal/graph"
+import (
+	"sort"
+
+	"nntstream/internal/graph"
+)
 
 // This file implements the branch-compatibility relation of Lemma 4.1: if a
 // query graph Q is subgraph-isomorphic to a data graph G, then for every
@@ -76,4 +80,46 @@ func (t *Trie) containsRec(n *Node) bool {
 // trees should BuildTrie once and reuse it.
 func BranchCompatible(q, g *Node) bool {
 	return BuildTrie(g).ContainsBranches(q)
+}
+
+// Canonical returns a deterministic encoding of the trie: two tries have
+// equal encodings iff they admit exactly the same branch sets, which makes
+// the encoding an interning key — query NNTs with equal canonical tries
+// have identical ContainsBranches verdicts against every data tree, so a
+// filter serving many template-derived queries can compute each distinct
+// trie's verdict once and share it. Children are emitted in sorted key
+// order, so map iteration never leaks into the encoding.
+func (t *Trie) Canonical() string {
+	var b []byte
+	b = t.appendCanonical(b)
+	return string(b)
+}
+
+func (t *Trie) appendCanonical(b []byte) []byte {
+	b = appendUvarint(b, uint64(t.RootLabel))
+	keys := make([]branchKey, 0, len(t.children))
+	for k := range t.children {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Edge != keys[j].Edge {
+			return keys[i].Edge < keys[j].Edge
+		}
+		return keys[i].Child < keys[j].Child
+	})
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendUvarint(b, uint64(k.Edge))
+		b = t.children[k].appendCanonical(b)
+	}
+	return b
+}
+
+// appendUvarint is binary.AppendUvarint without the import.
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
 }

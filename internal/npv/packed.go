@@ -71,6 +71,13 @@ func sigBit(d Dim) uint64 {
 	return 1 << (uint64(d) * 0x9E3779B97F4A7C15 >> 58)
 }
 
+// SigBit exposes the signature bit of one dimension so downstream code
+// (the shared-factor discovery in internal/factor) can build support
+// signatures compatible with the subset reject.
+//
+//nnt:hotpath
+func SigBit(d Dim) uint64 { return sigBit(d) }
+
 // Pack freezes v into packed form. The result does not alias v.
 func Pack(v Vector) PackedVector {
 	if len(v) == 0 {
@@ -158,6 +165,17 @@ func (p PackedVector) Equal(q PackedVector) bool {
 
 // String renders the packed vector like its map form.
 func (p PackedVector) String() string { return p.Unpack().String() }
+
+// CanDominate runs only the two O(1) rejects of Dominates — support size
+// and signature subset. A false result is a proof that p cannot dominate u;
+// true means the sorted merge must decide. The shared-factor short-circuit
+// (internal/factor) leads its memoized test with this so a factored reject
+// never costs more than the reject path of the plain kernel it replaces.
+//
+//nnt:hotpath
+func (p PackedVector) CanDominate(u PackedVector) bool {
+	return len(p.dims) >= len(u.dims) && u.sig&^p.sig == 0
+}
 
 // Dominates reports whether p dominates u in the sense of Lemma 4.2,
 // exactly as Vector.Dominates does: on every dimension of u's support, p's
